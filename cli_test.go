@@ -1,0 +1,131 @@
+// End-to-end tests of the command-line tools, run via "go run". They
+// are skipped under -short.
+package xtenergy_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIXsim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests are slow")
+	}
+	out := runCLI(t, "./cmd/xsim", "-list")
+	for _, want := range []string{"tp01_alu_mix", "ins_sort", "rs_gffold"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("xsim -list missing %q:\n%s", want, out)
+		}
+	}
+	out = runCLI(t, "./cmd/xsim", "-w", "des", "-vars")
+	for _, want := range []string{"cycles=", "macro-model variables", "custom-side-effect"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("xsim -w des missing %q:\n%s", want, out)
+		}
+	}
+	out = runCLI(t, "./cmd/xsim", "-disasm", "-w", "gcd")
+	if !strings.Contains(out, "custom.") {
+		t.Fatalf("disassembly missing custom instruction:\n%s", out)
+	}
+}
+
+func TestCLICharacterizeAndEstimate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests are slow")
+	}
+	model := filepath.Join(t.TempDir(), "model.json")
+	out := runCLI(t, "./cmd/characterize", "-fast", "-save", model)
+	for _, want := range []string{"TABLE I", "FIG. 3", "model written to"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("characterize missing %q:\n%s", want, out)
+		}
+	}
+	out = runCLI(t, "./cmd/estimate", "-fast", "-model", model, "-w", "gcd")
+	if !strings.Contains(out, "macro-model estimate:") {
+		t.Fatalf("estimate output:\n%s", out)
+	}
+	if strings.Contains(out, "characterizing") {
+		t.Fatal("estimate re-characterized despite -model")
+	}
+}
+
+func TestCLIXpower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests are slow")
+	}
+	out := runCLI(t, "./cmd/xpower", "-fast", "-w", "accumulate", "-profile", "400")
+	for _, want := range []string{"per-block energy breakdown", "clock", "custom hardware:", "power profile"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("xpower missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests are slow")
+	}
+	report := filepath.Join(t.TempDir(), "report.txt")
+	out := runCLI(t, "./cmd/experiments", "-fast", "-out", report, "fig4")
+	if !strings.Contains(out, "profiles track: true") {
+		t.Fatalf("experiments fig4 output:\n%s", out)
+	}
+}
+
+func TestCLIXprofileAndExplore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests are slow")
+	}
+	out := runCLI(t, "./cmd/xprofile", "-fast", "-w", "gcd", "-top", "3")
+	for _, want := range []string{"energy by code region", "g_inner", "hottest 3 instructions"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("xprofile missing %q:\n%s", want, out)
+		}
+	}
+	out = runCLI(t, "./cmd/explore", "-fast")
+	for _, want := range []string{"DESIGN SPACE", "Pareto frontier", "lowest energy:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explore missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIXsimJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests are slow")
+	}
+	out := runCLI(t, "./cmd/xsim", "-json", "-w", "des")
+	for _, want := range []string{`"workload": "des"`, `"cycles"`, `"custom-side-effect"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("xsim -json missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow")
+	}
+	out := runCLI(t, "./examples/quickstart")
+	for _, want := range []string{"macro-model estimate:", "RTL-level reference:", "error:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("quickstart missing %q:\n%s", want, out)
+		}
+	}
+	out = runCLI(t, "./examples/loopoption")
+	if !strings.Contains(out, "zero-overhead loop option:") {
+		t.Fatalf("loopoption output:\n%s", out)
+	}
+}

@@ -1,0 +1,64 @@
+// Command characterize builds the energy macro-model for the default
+// extensible-processor configuration by running the full
+// characterization flow (Fig. 2 of the paper, steps 1-8) over the test
+// program suite, then prints the recovered Table I coefficients and the
+// Fig. 3 fitting-error profile.
+//
+// Usage:
+//
+//	characterize [-fast] [-ridge λ] [-nonneg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xtenergy/internal/experiments"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "use the reduced-resolution reference model (quicker, slightly noisier)")
+	ridge := flag.Float64("ridge", 0, "ridge regularization strength for the regression")
+	nonneg := flag.Bool("nonneg", false, "constrain energy coefficients to be nonnegative")
+	save := flag.String("save", "", "write the characterized model to this JSON file")
+	flag.Parse()
+
+	suite := experiments.Default()
+	if *fast {
+		suite = experiments.Fast()
+	}
+	suite.Regress.Ridge = *ridge
+	suite.Regress.NonNegative = *nonneg
+
+	cr, err := suite.Characterization()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+
+	rows, err := suite.Table1()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.FormatTable1(rows))
+	fmt.Println()
+
+	fig3, err := suite.Fig3()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.FormatFig3(fig3))
+	fmt.Printf("\nregression: %d observations, R^2 = %.4f, condition estimate = %.1f\n",
+		len(cr.Observations), cr.Model.Fit.R2, cr.Model.Fit.CondEstimate)
+
+	if *save != "" {
+		if err := cr.Model.Save(*save); err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			os.Exit(1)
+		}
+		fmt.Println("model written to", *save)
+	}
+}

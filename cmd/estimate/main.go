@@ -1,0 +1,115 @@
+// Command estimate runs the fast macro-model energy-estimation path
+// (Fig. 2 of the paper, steps 9-11) for one application: instruction-set
+// simulation, dynamic resource-usage analysis, and the macro-model dot
+// product. With -ref it also runs the slow RTL-level reference estimator
+// and reports the error — one row of the paper's Table II.
+//
+// Usage:
+//
+//	estimate [-fast] [-ref] -w <workload>
+//	estimate -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/experiments"
+	"xtenergy/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "estimate:", err)
+		os.Exit(1)
+	}
+}
+
+func candidates() []core.Workload {
+	var ws []core.Workload
+	ws = append(ws, workloads.Applications()...)
+	ws = append(ws, workloads.ValidationApplications()...)
+	ws = append(ws, workloads.ReedSolomonConfigurations()...)
+	return ws
+}
+
+func run() error {
+	fast := flag.Bool("fast", false, "use the reduced-resolution reference model")
+	withRef := flag.Bool("ref", false, "also run the RTL-level reference estimator")
+	name := flag.String("w", "", "workload to estimate")
+	list := flag.Bool("list", false, "list estimable workloads")
+	modelPath := flag.String("model", "", "load a characterized model from this JSON file instead of re-characterizing")
+	breakdown := flag.Bool("breakdown", false, "print the estimate's per-term decomposition")
+	flag.Parse()
+
+	if *list {
+		for _, w := range candidates() {
+			fmt.Println(w.Name)
+		}
+		return nil
+	}
+	var w core.Workload
+	found := false
+	for _, cand := range candidates() {
+		if cand.Name == *name {
+			w, found = cand, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown workload %q (try -list)", *name)
+	}
+
+	suite := experiments.Default()
+	if *fast {
+		suite = experiments.Fast()
+	}
+	var model *core.MacroModel
+	if *modelPath != "" {
+		m, err := core.LoadModel(*modelPath)
+		if err != nil {
+			return err
+		}
+		model = m
+	} else {
+		fmt.Println("characterizing the processor (one-time cost per configuration)...")
+		cr, err := suite.Characterization()
+		if err != nil {
+			return err
+		}
+		model = cr.Model
+	}
+
+	start := time.Now()
+	est, err := model.EstimateWorkload(suite.Config, w)
+	if err != nil {
+		return err
+	}
+	estTime := time.Since(start)
+	fmt.Printf("macro-model estimate: %.3f uJ over %d cycles (%.1f mW at %.0f MHz) in %v\n",
+		est.EnergyUJ(), est.Cycles,
+		est.EnergyPJ/float64(est.Cycles)*suite.Config.ClockMHz*1e6*1e-9,
+		suite.Config.ClockMHz, estTime)
+
+	if *breakdown {
+		fmt.Println()
+		fmt.Print(core.FormatBreakdown(model.Breakdown(est.Vars)))
+	}
+
+	if *withRef {
+		start = time.Now()
+		ref, err := core.ReferenceEnergy(suite.Config, suite.Tech, w)
+		if err != nil {
+			return err
+		}
+		refTime := time.Since(start)
+		errPct := 100 * (est.EnergyPJ - ref.EnergyPJ) / ref.EnergyPJ
+		fmt.Printf("reference (RTL-level): %.3f uJ in %v\n", ref.EnergyUJ(), refTime)
+		fmt.Printf("error: %+.1f%%, reference/macro time ratio: %.0fx\n",
+			errPct, float64(refTime)/float64(estTime))
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Command xpower runs the RTL-level reference power estimator over one
+// workload and prints a WattWatcher-style per-block energy breakdown —
+// the slow, accurate view of where an extended processor's energy goes,
+// including the base-core vs custom-hardware split.
+//
+// Usage:
+//
+//	xpower [-fast] -w <workload>
+//	xpower -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/rtlpower"
+	"xtenergy/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xpower:", err)
+		os.Exit(1)
+	}
+}
+
+func candidates() []core.Workload {
+	return workloads.All()
+}
+
+func run() error {
+	fast := flag.Bool("fast", false, "use the reduced-resolution reference model")
+	name := flag.String("w", "", "workload to analyze")
+	list := flag.Bool("list", false, "list available workloads")
+	profile := flag.Uint64("profile", 0, "also print a power-vs-time profile with this window (cycles)")
+	flag.Parse()
+
+	if *list {
+		for _, w := range candidates() {
+			fmt.Println(w.Name)
+		}
+		return nil
+	}
+
+	var w core.Workload
+	found := false
+	for _, cand := range candidates() {
+		if cand.Name == *name {
+			w, found = cand, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown workload %q (try -list)", *name)
+	}
+
+	cfg := procgen.Default()
+	tech := rtlpower.DefaultTechnology()
+	if *fast {
+		tech = rtlpower.FastTechnology()
+	}
+
+	proc, prog, err := w.Build(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := iss.New(proc).Run(prog, iss.Options{CollectTrace: true})
+	if err != nil {
+		return err
+	}
+	est, err := rtlpower.New(proc, tech)
+	if err != nil {
+		return err
+	}
+	rep, err := est.EstimateTrace(res.Trace)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload %s: %d instructions, %d cycles\n\n", w.Name, res.Stats.Retired, rep.Cycles)
+	rows, err := rep.Breakdown(proc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rtlpower.FormatBreakdown(rows, cfg.ClockMHz, rep.Cycles))
+
+	base, custom, err := rep.BaseCustomSplit(proc)
+	if err != nil {
+		return err
+	}
+	if custom > 0 {
+		fmt.Printf("\nbase core: %.3f uJ (%.1f%%), custom hardware: %.3f uJ (%.1f%%)\n",
+			base*1e-6, 100*base/rep.TotalPJ, custom*1e-6, 100*custom/rep.TotalPJ)
+	}
+
+	if *profile > 0 {
+		est2, err := rtlpower.New(proc, tech)
+		if err != nil {
+			return err
+		}
+		points, err := est2.Profile(res.Trace, *profile)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(rtlpower.FormatProfile(points, cfg.ClockMHz))
+	}
+	return nil
+}

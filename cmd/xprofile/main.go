@@ -1,0 +1,90 @@
+// Command xprofile is a software energy profiler driven by the
+// characterized macro-model: it attributes a workload's estimated energy
+// to labeled code regions and to individual instructions. Attribution is
+// exact — the per-instruction energies sum to the macro-model's
+// whole-program estimate.
+//
+// Usage:
+//
+//	xprofile [-fast] [-model file] [-top n] -w <workload>
+//	xprofile -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/experiments"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/profiler"
+	"xtenergy/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xprofile:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fast := flag.Bool("fast", false, "use the reduced-resolution reference model for characterization")
+	modelPath := flag.String("model", "", "load a characterized model instead of re-characterizing")
+	name := flag.String("w", "", "workload to profile")
+	top := flag.Int("top", 10, "number of hottest instructions to print")
+	list := flag.Bool("list", false, "list available workloads")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	w, ok := workloads.ByName(*name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (try -list)", *name)
+	}
+
+	suite := experiments.Default()
+	if *fast {
+		suite = experiments.Fast()
+	}
+	var model *core.MacroModel
+	if *modelPath != "" {
+		m, err := core.LoadModel(*modelPath)
+		if err != nil {
+			return err
+		}
+		model = m
+	} else {
+		fmt.Println("characterizing the processor (one-time cost per configuration)...")
+		cr, err := suite.Characterization()
+		if err != nil {
+			return err
+		}
+		model = cr.Model
+	}
+
+	proc, prog, err := w.Build(suite.Config)
+	if err != nil {
+		return err
+	}
+	res, err := iss.New(proc).Run(prog, iss.Options{CollectTrace: true})
+	if err != nil {
+		return err
+	}
+	rep, err := profiler.Profile(model, proc, prog, res.Trace)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nworkload %s: %d retired instructions, %d cycles\n\n",
+		w.Name, res.Stats.Retired, rep.Cycles)
+	fmt.Print(rep.FormatRegions())
+	fmt.Println()
+	fmt.Print(rep.FormatHotLines(*top))
+	return nil
+}

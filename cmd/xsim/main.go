@@ -1,0 +1,171 @@
+// Command xsim runs XT32 programs on the instruction-set simulator and
+// reports the execution statistics the energy macro-model consumes.
+//
+// Usage:
+//
+//	xsim -list               list built-in workloads
+//	xsim -w <name>           run a built-in workload (test program or app)
+//	xsim <file.s>            assemble and run an XT32 assembly file (base ISA)
+//	xsim -disasm -w <name>   print the disassembly instead of running
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/isa"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xsim:", err)
+		os.Exit(1)
+	}
+}
+
+func allWorkloads() []core.Workload {
+	return workloads.All()
+}
+
+func run() error {
+	list := flag.Bool("list", false, "list built-in workloads")
+	name := flag.String("w", "", "run the named built-in workload")
+	disasm := flag.Bool("disasm", false, "print disassembly instead of running")
+	showVars := flag.Bool("vars", false, "print the 21 macro-model variables")
+	netlist := flag.Bool("netlist", false, "print the generated processor's structural netlist")
+	traceN := flag.Int("trace", 0, "print the first N trace entries")
+	asJSON := flag.Bool("json", false, "emit the statistics and macro-model variables as JSON")
+	flag.Parse()
+
+	cfg := procgen.Default()
+
+	if *list {
+		for _, w := range allWorkloads() {
+			ext := "base"
+			if w.Ext != nil {
+				ext = "tie:" + w.Ext.Name
+			}
+			fmt.Printf("%-24s %s\n", w.Name, ext)
+		}
+		return nil
+	}
+
+	var w core.Workload
+	switch {
+	case *name != "":
+		found := false
+		for _, cand := range allWorkloads() {
+			if cand.Name == *name {
+				w, found = cand, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown workload %q (try -list)", *name)
+		}
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		w = core.Workload{Name: flag.Arg(0), Source: string(src)}
+	default:
+		flag.Usage()
+		return fmt.Errorf("need -list, -w <name>, or an assembly file")
+	}
+
+	if *disasm {
+		_, prog, err := w.Build(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(isa.Disassemble(prog.Code))
+		return nil
+	}
+
+	proc, prog, err := w.Build(cfg)
+	if err != nil {
+		return err
+	}
+	if *netlist {
+		return proc.WriteNetlist(os.Stdout)
+	}
+	res, err := iss.New(proc).Run(prog, iss.Options{CollectTrace: *traceN > 0})
+	if err != nil {
+		return err
+	}
+	if *traceN > 0 {
+		n := *traceN
+		if n > len(res.Trace) {
+			n = len(res.Trace)
+		}
+		for i := 0; i < n; i++ {
+			te := res.Trace[i]
+			events := ""
+			if te.ICMiss {
+				events += " icmiss"
+			}
+			if te.DCMiss {
+				events += " dcmiss"
+			}
+			if te.Uncached {
+				events += " uncached"
+			}
+			if te.Interlock {
+				events += " interlock"
+			}
+			if te.Taken {
+				events += " taken"
+			}
+			fmt.Printf("%6d  pc=%-6d %-28s cycles=%-3d rs=%#x rt=%#x res=%#x%s\n",
+				i, te.PC, te.Instr.String(), te.Cycles, te.RsVal, te.RtVal, te.Result, events)
+		}
+		fmt.Println()
+	}
+	if *asJSON {
+		vars, err := core.Extract(proc.TIE, &res.Stats)
+		if err != nil {
+			return err
+		}
+		named := map[string]float64{}
+		for i, v := range vars {
+			if v != 0 {
+				named[core.VarName(i)] = v
+			}
+		}
+		out := map[string]any{
+			"workload":     w.Name,
+			"instructions": len(prog.Code),
+			"cycles":       res.Stats.Cycles,
+			"retired":      res.Stats.Retired,
+			"cpi":          res.Stats.CPI(),
+			"variables":    named,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
+	fmt.Printf("workload %s (%d instructions)\n", w.Name, len(prog.Code))
+	fmt.Print(res.Stats.String())
+
+	if *showVars {
+		vars, err := core.Extract(proc.TIE, &res.Stats)
+		if err != nil {
+			return err
+		}
+		fmt.Println("macro-model variables:")
+		for i, v := range vars {
+			if v != 0 {
+				fmt.Printf("  %-20s %14.1f\n", core.VarName(i), v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Design-space exploration in the style of the paper's Fig. 4: one
+// application (the Reed-Solomon encoder) with four candidate custom-
+// instruction choices, evaluated by both the fast macro-model and the
+// slow RTL-level reference. The claim under test is *relative accuracy*:
+// the two profiles must track each other, so that energy-optimization
+// decisions made with the macro-model alone are the same decisions the
+// reference would give.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/regress"
+	"xtenergy/internal/rtlpower"
+	"xtenergy/internal/workloads"
+)
+
+func bar(uj, scale float64) string {
+	n := int(uj / scale)
+	if n > 60 {
+		n = 60
+	}
+	return strings.Repeat("#", n)
+}
+
+func main() {
+	cfg := procgen.Default()
+	tech := rtlpower.DefaultTechnology()
+	tech.Detail = 0.1
+
+	fmt.Println("characterizing the processor family once...")
+	cr, err := core.Characterize(cfg, tech, workloads.CharacterizationSuite(), regress.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nReed-Solomon encoder with four custom-instruction choices:")
+	fmt.Printf("%-10s %9s %14s %16s %9s\n", "choice", "cycles", "estimate (uJ)", "reference (uJ)", "err")
+
+	type row struct {
+		name     string
+		est, ref float64
+	}
+	var rows []row
+	var tEst, tRef time.Duration
+	for _, w := range workloads.ReedSolomonConfigurations() {
+		t0 := time.Now()
+		est, err := cr.Model.EstimateWorkload(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tEst += time.Since(t0)
+
+		t0 = time.Now()
+		ref, err := core.ReferenceEnergy(cfg, tech, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tRef += time.Since(t0)
+
+		errPct := 100 * (est.EnergyPJ - ref.EnergyPJ) / ref.EnergyPJ
+		fmt.Printf("%-10s %9d %14.2f %16.2f %+8.1f%%\n",
+			w.Name, est.Cycles, est.EnergyUJ(), ref.EnergyUJ(), errPct)
+		rows = append(rows, row{w.Name, est.EnergyUJ(), ref.EnergyUJ()})
+	}
+
+	fmt.Println("\nenergy profile (macro-model M vs reference R):")
+	for _, r := range rows {
+		fmt.Printf("%-10s M %s\n", r.name, bar(r.est, 0.5))
+		fmt.Printf("%-10s R %s\n", "", bar(r.ref, 0.5))
+	}
+
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.est < best.est {
+			best = r
+		}
+	}
+	fmt.Printf("\nmacro-model picks %q as the lowest-energy choice", best.name)
+	refBest := rows[0]
+	for _, r := range rows[1:] {
+		if r.ref < refBest.ref {
+			refBest = r
+		}
+	}
+	fmt.Printf("; the reference agrees: %v\n", refBest.name == best.name)
+	fmt.Printf("exploration time: macro-model %v vs reference %v\n", tEst, tRef)
+}

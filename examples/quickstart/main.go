@@ -1,0 +1,105 @@
+// Quickstart: characterize the extensible processor once, then estimate
+// the energy of a small application — with a custom instruction — from
+// instruction-set simulation alone, and check the estimate against the
+// slow RTL-level reference.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/hwlib"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/regress"
+	"xtenergy/internal/rtlpower"
+	"xtenergy/internal/tie"
+	"xtenergy/internal/workloads"
+)
+
+func main() {
+	// 1. The processor family: a T1040-like base core (187 MHz, 4-way
+	//    16 KB caches, 64x32 register file) in the default technology.
+	cfg := procgen.Default()
+	tech := rtlpower.DefaultTechnology()
+	tech.Detail = 0.1 // reduced reference resolution keeps this demo quick
+
+	// 2. Characterize once: fit the 21-coefficient energy macro-model
+	//    against the RTL-level reference over the test-program suite.
+	fmt.Println("characterizing (one-time per processor family)...")
+	cr, err := core.Characterize(cfg, tech, workloads.CharacterizationSuite(), regress.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fit: R^2 = %.4f over %d test programs\n\n", cr.Model.Fit.R2, len(cr.Observations))
+
+	// 3. Define an application with a custom instruction. The TIE-like
+	//    extension declares the instruction's latency, register-file
+	//    usage, hardware datapath, and semantics.
+	ext := &tie.Extension{
+		Name: "dotp",
+		Instructions: []*tie.Instruction{{
+			Name:         "sqdiff", // (rs-rt)^2 in one cycle
+			Latency:      1,
+			ReadsGeneral: true, WritesGeneral: true,
+			Datapath: []tie.DatapathElem{
+				{Component: hwlib.Component{Name: "sd_sub", Cat: hwlib.AddSubCmp, Width: 32}, OnBus: true},
+				{Component: hwlib.Component{Name: "sd_mul", Cat: hwlib.Multiplier, Width: 16}},
+			},
+			Semantics: func(_ *tie.State, op tie.Operands) uint32 {
+				d := int32(op.RsVal) - int32(op.RtVal)
+				return uint32(d * d)
+			},
+		}},
+	}
+
+	app := core.Workload{
+		Name: "sum-squared-diff",
+		Ext:  ext,
+		Source: `
+start:
+    movi a2, veca
+    movi a3, vecb
+    movi a4, 64         ; n
+    movi a5, 0          ; acc
+loop:
+    l32i a6, a2, 0
+    l32i a7, a3, 0
+    sqdiff a8, a6, a7   ; custom instruction
+    add a5, a5, a8
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi a4, a4, -1
+    bnez a4, loop
+    ret
+.data 0x1000
+veca:
+.word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+.word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+.word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+.word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+vecb:
+.word 2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5
+.word 2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5
+.word 2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5
+.word 2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5
+`,
+	}
+
+	// 4. Fast path: macro-model estimate (no synthesis, no RTL).
+	est, err := cr.Model.EstimateWorkload(cfg, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("macro-model estimate: %.3f uJ over %d cycles\n", est.EnergyUJ(), est.Cycles)
+
+	// 5. Validate against the slow reference.
+	ref, err := core.ReferenceEnergy(cfg, tech, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RTL-level reference:  %.3f uJ\n", ref.EnergyUJ())
+	fmt.Printf("error: %+.1f%%\n", 100*(est.EnergyPJ-ref.EnergyPJ)/ref.EnergyPJ)
+}

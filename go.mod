@@ -1,0 +1,3 @@
+module xtenergy
+
+go 1.22

@@ -1,0 +1,32 @@
+package asm_test
+
+import (
+	"fmt"
+
+	"xtenergy/internal/asm"
+	"xtenergy/internal/tie"
+)
+
+// Assemble turns XT32 source into an executable program; labels become
+// branch offsets or data addresses.
+func ExampleAssembler_Assemble() {
+	comp, _ := tie.Compile(nil)
+	prog, err := asm.New(comp).Assemble("demo", `
+.equ N, 3
+start:
+    movi a2, N
+loop:
+    addi a2, a2, -1
+    bnez a2, loop
+    ret
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d instructions, entry %d\n", len(prog.Code), prog.Entry)
+	fmt.Println(prog.Code[0])
+	// Output:
+	// 4 instructions, entry 0
+	// movi a2, 3
+}

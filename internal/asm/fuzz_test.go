@@ -1,0 +1,47 @@
+package asm
+
+import (
+	"testing"
+
+	"xtenergy/internal/tie"
+)
+
+// FuzzAssemble checks that arbitrary source text never panics the
+// assembler: it must either produce a valid program or a positioned
+// error.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"ret\n",
+		"start:\n    movi a1, 5\n    ret\n",
+		"loop:\n    addi a1, a1, -1\n    bnez a1, loop\n",
+		".data 0x1000\nx: .word 1, 2\n.text\n    l32i a1, a2, 0\n",
+		"lbl: lbl2:\n    j lbl\n",
+		".uncached\n    nop\n.cached\n",
+		"    beqi a1, -32, 0\n",
+		"    movi a1, sym+4\nsym:\n",
+		"; comment only",
+		":\n",
+		".word",
+		"\x00\x01\x02",
+		"    add a1, a2, a3, a4\n",
+		"    movi a1, 99999999999999999999\n",
+	}
+	comp, err := tie.Compile(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	a := New(comp)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := a.Assemble("fuzz", src)
+		if err == nil && prog != nil {
+			// Any accepted program must pass its own validation.
+			if verr := prog.Validate(); verr != nil {
+				t.Fatalf("assembler accepted invalid program: %v", verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"xtenergy/internal/isa"
+	"xtenergy/internal/linalg"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/regress"
+	"xtenergy/internal/rtlpower"
+)
+
+// Observation is one test program's characterization record.
+type Observation struct {
+	// Name is the test program name.
+	Name string
+	// Vars are its macro-model variable values.
+	Vars Vars
+	// OpcodeExec records per-opcode execution counts (used by the
+	// per-opcode ablation, which demonstrates why the paper clusters
+	// instructions into six classes).
+	OpcodeExec [isa.NumOpcodes]uint64
+	// MeasuredPJ is the reference (RTL-level) energy.
+	MeasuredPJ float64
+	// FittedPJ is the macro-model energy after fitting.
+	FittedPJ float64
+	// RelErr is (Measured-Fitted)/Measured.
+	RelErr float64
+	// Cycles is the simulated cycle count.
+	Cycles uint64
+}
+
+// CharacterizationResult is the outcome of building a macro-model.
+type CharacterizationResult struct {
+	Model        *MacroModel
+	Observations []Observation
+	// Config and Tech record what was characterized.
+	Config procgen.Config
+	Tech   rtlpower.Technology
+}
+
+// Characterize runs the full characterization flow (paper Fig. 2, steps
+// 1-8): for every test program it generates the custom processor, runs
+// instruction-set simulation with trace collection, performs dynamic
+// resource-usage analysis, measures the reference energy with the
+// RTL-level estimator, and finally fits the 21 energy coefficients by
+// regression.
+//
+// The test suite must exercise enough variable diversity for the system
+// to be well-posed: at least NumVars programs, covering the base
+// instruction classes, the non-ideal cases, and all ten custom-hardware
+// categories. Columns that are identically zero across the suite (e.g.
+// an unused hardware category) are excluded from the regression and
+// their coefficients reported as zero.
+func Characterize(cfg procgen.Config, tech rtlpower.Technology, programs []Workload, opts regress.Options) (*CharacterizationResult, error) {
+	if len(programs) == 0 {
+		return nil, fmt.Errorf("core: no test programs")
+	}
+
+	// Each test program's leg — processor generation, simulation with
+	// trace, resource analysis, reference power estimation — is
+	// independent of the others, so the suite is measured with a worker
+	// pool. Results are deterministic regardless of scheduling: every
+	// program gets its own simulator and estimator (with the technology's
+	// fixed seed).
+	obs := make([]Observation, len(programs))
+	errs := make([]error, len(programs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range programs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			w := &programs[i]
+			proc, res, vars, err := w.Simulate(cfg, true)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			est, err := rtlpower.New(proc, tech)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rep, err := est.EstimateTrace(res.Trace)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: workload %s: %w", w.Name, err)
+				return
+			}
+			obs[i] = Observation{
+				Name:       w.Name,
+				Vars:       vars,
+				OpcodeExec: res.Stats.OpcodeExec,
+				MeasuredPJ: rep.TotalPJ,
+				Cycles:     res.Stats.Cycles,
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rows := make([][]float64, len(programs))
+	energies := make([]float64, len(programs))
+	for i := range obs {
+		rows[i] = obs[i].Vars[:]
+		energies[i] = obs[i].MeasuredPJ
+	}
+
+	// Exclude identically-zero columns so QR stays full rank when a
+	// category is unused by the suite.
+	used := make([]int, 0, NumVars)
+	for j := 0; j < NumVars; j++ {
+		for _, r := range rows {
+			if r[j] != 0 {
+				used = append(used, j)
+				break
+			}
+		}
+	}
+	if len(rows) < len(used) {
+		return nil, fmt.Errorf("core: %d test programs cannot identify %d active variables; add programs", len(rows), len(used))
+	}
+
+	x := linalg.NewMatrix(len(rows), len(used))
+	for i, r := range rows {
+		for jj, j := range used {
+			x.Set(i, jj, r[j])
+		}
+	}
+	fit, err := regress.FitLinear(x, energies, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: regression failed: %w", err)
+	}
+
+	model := &MacroModel{Fit: fit}
+	for jj, j := range used {
+		model.Coef[j] = fit.Coef[jj]
+		if fit.StdErr != nil {
+			model.CoefStdErr[j] = fit.StdErr[jj]
+		}
+	}
+	for i := range obs {
+		obs[i].FittedPJ = model.EstimatePJ(obs[i].Vars)
+		if obs[i].MeasuredPJ != 0 {
+			obs[i].RelErr = (obs[i].MeasuredPJ - obs[i].FittedPJ) / obs[i].MeasuredPJ
+		}
+	}
+	return &CharacterizationResult{
+		Model:        model,
+		Observations: obs,
+		Config:       cfg,
+		Tech:         tech,
+	}, nil
+}

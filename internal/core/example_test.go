@@ -1,0 +1,24 @@
+package core_test
+
+import (
+	"fmt"
+
+	"xtenergy/internal/core"
+)
+
+// A macro-model is a plain dot product over the 21 variables, so
+// estimates are trivially fast once characterized.
+func ExampleMacroModel_EstimatePJ() {
+	var m core.MacroModel
+	m.Coef[core.VArith] = 400 // pJ per arithmetic cycle
+	m.Coef[core.VLoad] = 500  // pJ per load cycle
+	m.Coef[core.VICacheMiss] = 3000
+
+	var v core.Vars
+	v[core.VArith] = 1000
+	v[core.VLoad] = 200
+	v[core.VICacheMiss] = 4
+	fmt.Printf("%.1f uJ\n", m.EstimatePJ(v)*1e-6)
+	// Output:
+	// 0.5 uJ
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"xtenergy/internal/regress"
+)
+
+// modelFile is the on-disk representation of a characterized
+// macro-model. Coefficients are stored by variable name so the file
+// survives reordering of the variable indices, and a format version
+// guards against silent misreads.
+type modelFile struct {
+	Format       int                `json:"format"`
+	Description  string             `json:"description,omitempty"`
+	Coefficients map[string]float64 `json:"coefficients_pj"`
+	// Training diagnostics (informational).
+	R2           float64 `json:"r2,omitempty"`
+	RMSRelPct    float64 `json:"rms_rel_pct,omitempty"`
+	MaxAbsRelPct float64 `json:"max_abs_rel_pct,omitempty"`
+	Programs     int     `json:"training_programs,omitempty"`
+}
+
+const modelFormatVersion = 1
+
+// MarshalJSON encodes the model with named coefficients.
+func (m *MacroModel) MarshalJSON() ([]byte, error) {
+	f := modelFile{
+		Format:       modelFormatVersion,
+		Coefficients: make(map[string]float64, NumVars),
+	}
+	for i := 0; i < NumVars; i++ {
+		f.Coefficients[VarName(i)] = m.Coef[i]
+	}
+	if m.Fit != nil {
+		f.R2 = m.Fit.R2
+		f.RMSRelPct = 100 * m.Fit.RMSRel
+		f.MaxAbsRelPct = 100 * m.Fit.MaxAbsRel
+		f.Programs = len(m.Fit.Residuals)
+	}
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// UnmarshalJSON decodes a model written by MarshalJSON. Unknown
+// coefficient names are rejected (they signal a version mismatch);
+// missing names default to zero.
+func (m *MacroModel) UnmarshalJSON(data []byte) error {
+	var f modelFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("core: parsing model: %w", err)
+	}
+	if f.Format != modelFormatVersion {
+		return fmt.Errorf("core: model format %d, want %d", f.Format, modelFormatVersion)
+	}
+	byName := make(map[string]int, NumVars)
+	for i := 0; i < NumVars; i++ {
+		byName[VarName(i)] = i
+	}
+	var coef Vars
+	for name, v := range f.Coefficients {
+		i, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("core: model has unknown coefficient %q", name)
+		}
+		coef[i] = v
+	}
+	m.Coef = coef
+	// Reconstruct summary-level diagnostics so consumers can report them.
+	m.Fit = &regress.Fit{
+		R2:        f.R2,
+		RMSRel:    f.RMSRelPct / 100,
+		MaxAbsRel: f.MaxAbsRelPct / 100,
+	}
+	if f.Programs > 0 {
+		m.Fit.Residuals = make([]float64, f.Programs)
+	}
+	return nil
+}
+
+// Save writes the model to path as JSON, so a characterized processor
+// family can be reused without re-running the (slow) characterization.
+func (m *MacroModel) Save(path string) error {
+	data, err := m.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadModel reads a model previously written by Save.
+func LoadModel(path string) (*MacroModel, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m MacroModel
+	if err := m.UnmarshalJSON(data); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", path, err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,185 @@
+// Package explore implements design-space exploration on top of the
+// energy macro-model — the use case the paper builds toward: "our
+// methodology is easily usable for evaluating energy-performance
+// trade-offs among different candidate custom instructions."
+//
+// A Candidate pairs a processor configuration with a workload (the same
+// kernel implemented against some custom-instruction choice). Evaluate
+// prices every candidate with the fast macro-model path in parallel, and
+// ParetoFrontier marks the candidates that are not dominated in the
+// (cycles, energy) plane.
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/procgen"
+)
+
+// Candidate is one point of the design space.
+type Candidate struct {
+	// Name labels the candidate (defaults to the workload name).
+	Name string
+	// Config is the base-core configuration the candidate runs on.
+	Config procgen.Config
+	// Workload is the kernel with its custom-instruction choice.
+	Workload core.Workload
+}
+
+// Point is an evaluated candidate.
+type Point struct {
+	Candidate
+	// Cycles and EnergyPJ are the macro-model results.
+	Cycles   uint64
+	EnergyPJ float64
+	// EDP is the energy-delay product in pJ·cycles.
+	EDP float64
+	// Pareto marks points on the (cycles, energy) Pareto frontier.
+	Pareto bool
+}
+
+// EnergyUJ returns the point's energy in microjoules.
+func (p Point) EnergyUJ() float64 { return p.EnergyPJ * 1e-6 }
+
+// Evaluate prices every candidate with the macro-model (no synthesis,
+// no reference simulation) and marks the Pareto frontier. Candidates
+// are evaluated concurrently; the result preserves input order.
+func Evaluate(model *core.MacroModel, candidates []Candidate) ([]Point, error) {
+	if model == nil {
+		return nil, fmt.Errorf("explore: nil macro-model")
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("explore: no candidates")
+	}
+	points := make([]Point, len(candidates))
+	errs := make([]error, len(candidates))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range candidates {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := candidates[i]
+			if c.Name == "" {
+				c.Name = c.Workload.Name
+			}
+			est, err := model.EstimateWorkload(c.Config, c.Workload)
+			if err != nil {
+				errs[i] = fmt.Errorf("explore: candidate %s: %w", c.Name, err)
+				return
+			}
+			points[i] = Point{
+				Candidate: c,
+				Cycles:    est.Cycles,
+				EnergyPJ:  est.EnergyPJ,
+				EDP:       est.EnergyPJ * float64(est.Cycles),
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	markPareto(points)
+	return points, nil
+}
+
+// markPareto sets Pareto on every non-dominated point: a point is
+// dominated if another point has <= cycles and <= energy with at least
+// one strict inequality.
+func markPareto(points []Point) {
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			a, b := &points[j], &points[i]
+			if a.Cycles <= b.Cycles && a.EnergyPJ <= b.EnergyPJ &&
+				(a.Cycles < b.Cycles || a.EnergyPJ < b.EnergyPJ) {
+				dominated = true
+				break
+			}
+		}
+		points[i].Pareto = !dominated
+	}
+}
+
+// Remark recomputes the Pareto flags over an arbitrary set of points
+// (e.g. the union of several Evaluate calls) and returns the same slice.
+func Remark(points []Point) []Point {
+	markPareto(points)
+	return points
+}
+
+// ParetoFrontier returns only the Pareto-optimal points, sorted by
+// ascending cycle count.
+func ParetoFrontier(points []Point) []Point {
+	var out []Point
+	for _, p := range points {
+		if p.Pareto {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Cycles != out[b].Cycles {
+			return out[a].Cycles < out[b].Cycles
+		}
+		return out[a].EnergyPJ < out[b].EnergyPJ
+	})
+	return out
+}
+
+// MinEnergy returns the lowest-energy point.
+func MinEnergy(points []Point) (Point, error) {
+	if len(points) == 0 {
+		return Point{}, fmt.Errorf("explore: no points")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.EnergyPJ < best.EnergyPJ {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// MinEDP returns the lowest energy-delay-product point.
+func MinEDP(points []Point) (Point, error) {
+	if len(points) == 0 {
+		return Point{}, fmt.Errorf("explore: no points")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.EDP < best.EDP {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// Format renders the evaluated design space as a table, Pareto points
+// starred.
+func Format(points []Point) string {
+	var b strings.Builder
+	b.WriteString("DESIGN SPACE (macro-model; * = Pareto-optimal in cycles x energy)\n")
+	fmt.Fprintf(&b, "  %-24s %-20s %10s %12s %16s\n", "candidate", "config", "cycles", "energy (uJ)", "EDP (uJ*kcyc)")
+	for _, p := range points {
+		star := " "
+		if p.Pareto {
+			star = "*"
+		}
+		fmt.Fprintf(&b, "%s %-24s %-20s %10d %12.3f %16.3f\n",
+			star, p.Name, p.Config.Name, p.Cycles, p.EnergyUJ(), p.EDP*1e-6/1000)
+	}
+	return b.String()
+}

@@ -1,0 +1,23 @@
+package hwlib_test
+
+import (
+	"fmt"
+
+	"xtenergy/internal/hwlib"
+)
+
+// Complexity normalizes each component to a 32-bit reference instance:
+// linear categories scale with width, multiplier-like categories
+// quadratically, tables with entries x width.
+func ExampleComponent_Complexity() {
+	adder := hwlib.Component{Name: "add", Cat: hwlib.AddSubCmp, Width: 64}
+	mult := hwlib.Component{Name: "mul", Cat: hwlib.Multiplier, Width: 64}
+	table := hwlib.Component{Name: "rom", Cat: hwlib.Table, Width: 8, Entries: 512}
+	fmt.Printf("64-bit adder      f = %.2f\n", adder.Complexity())
+	fmt.Printf("64-bit multiplier f = %.2f\n", mult.Complexity())
+	fmt.Printf("512x8 table       f = %.2f\n", table.Complexity())
+	// Output:
+	// 64-bit adder      f = 2.00
+	// 64-bit multiplier f = 4.00
+	// 512x8 table       f = 8.00
+}

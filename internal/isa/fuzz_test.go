@@ -1,0 +1,34 @@
+package isa
+
+import "testing"
+
+// FuzzDecode checks that any 32-bit word either fails to decode or
+// decodes to an instruction that re-encodes to an equivalent word
+// (decode-encode-decode is a fixed point).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	for _, op := range BaseOpcodes() {
+		f.Add(uint32(op) << 24)
+	}
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		// The encoding may not round-trip bit-for-bit (unused fields are
+		// not preserved), but the decoded instruction itself must.
+		w2, err := in.Encode()
+		if err != nil {
+			t.Fatalf("decoded instruction %v does not re-encode: %v", in, err)
+		}
+		in2, err := Decode(w2)
+		if err != nil {
+			t.Fatalf("re-encoded word %#x does not decode: %v", w2, err)
+		}
+		if in2 != in {
+			t.Fatalf("decode not idempotent: %v vs %v", in, in2)
+		}
+		_ = in.String() // must not panic
+	})
+}

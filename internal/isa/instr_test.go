@@ -1,0 +1,157 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomInstr draws a valid instruction for the encode/decode property.
+func randomInstr(r *rand.Rand) Instr {
+	ops := BaseOpcodes()
+	op := ops[r.Intn(len(ops))]
+	d, _ := Lookup(op)
+	in := Instr{Op: op}
+	reg := func() uint8 { return uint8(r.Intn(NumRegs)) }
+	imm12 := func() int32 { return int32(r.Intn(4096)) - 2048 }
+	switch d.Format {
+	case FormatRRR:
+		in.Rd, in.Rs, in.Rt = reg(), reg(), reg()
+	case FormatRRI, FormatMem:
+		in.Rd, in.Rs, in.Imm = reg(), reg(), imm12()
+	case FormatRR:
+		in.Rd, in.Rs = reg(), reg()
+	case FormatRI:
+		in.Rd, in.Imm = reg(), int32(r.Intn(1<<18))-1<<17
+	case FormatBranchRR:
+		in.Rs, in.Rt, in.Imm = reg(), reg(), imm12()
+	case FormatBranchRI:
+		in.Rs, in.Rt, in.Imm = reg(), uint8(r.Intn(64)), imm12()
+	case FormatBranchR:
+		in.Rs, in.Imm = reg(), imm12()
+	case FormatJump:
+		in.Imm = int32(r.Intn(1 << 24))
+	case FormatJumpR:
+		in.Rs = reg()
+	case FormatNone:
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstr(r)
+		w, err := in.Encode()
+		if err != nil {
+			t.Logf("encode %v: %v", in, err)
+			return false
+		}
+		back, err := Decode(w)
+		if err != nil {
+			t.Logf("decode %#x: %v", w, err)
+			return false
+		}
+		if back != in {
+			t.Logf("round trip %v -> %#x -> %v", in, w, back)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeCustom(t *testing.T) {
+	in := Instr{Op: OpCUSTOM, Rd: 5, Rs: 17, Rt: 33, CustomID: 42}
+	w, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != in {
+		t.Fatalf("custom round trip: %v -> %v", in, back)
+	}
+}
+
+func TestEncodeRejectsOversizedImmediates(t *testing.T) {
+	cases := []Instr{
+		{Op: OpADDI, Rd: 1, Rs: 2, Imm: 5000},   // > 12 bits
+		{Op: OpADDI, Rd: 1, Rs: 2, Imm: -3000},  // < -2048
+		{Op: OpMOVI, Rd: 1, Imm: 1 << 20},       // > 18 bits
+		{Op: OpJ, Imm: -1},                      // negative jump target
+		{Op: OpADD, Rd: 64, Rs: 0, Rt: 0},       // bad register
+		{Op: OpBEQ, Rs: 1, Rt: 2, Imm: 1 << 13}, // branch offset too far
+		{Op: OpInvalid},                         // invalid opcode
+		{Op: OpBEQI, Rs: 1, Rt: 64, Imm: 0},     // branch constant out of range
+	}
+	for _, in := range cases {
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("Encode(%v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	if _, err := Decode(0); err == nil {
+		t.Fatal("decoded opcode byte 0")
+	}
+	if _, err := Decode(0xFF << 24); err == nil {
+		t.Fatal("decoded out-of-range opcode byte")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpADD, Rd: 1, Rs: 2, Rt: 3}, "add a1, a2, a3"},
+		{Instr{Op: OpADDI, Rd: 1, Rs: 2, Imm: -7}, "addi a1, a2, -7"},
+		{Instr{Op: OpMOVI, Rd: 4, Imm: 100}, "movi a4, 100"},
+		{Instr{Op: OpL32I, Rd: 9, Rs: 2, Imm: 8}, "l32i a9, a2, 8"},
+		{Instr{Op: OpBEQ, Rs: 1, Rt: 2, Imm: -3}, "beq a1, a2, -3"},
+		{Instr{Op: OpBEQZ, Rs: 1, Imm: 4}, "beqz a1, 4"},
+		{Instr{Op: OpJ, Imm: 12}, "j 12"},
+		{Instr{Op: OpJX, Rs: 7}, "jx a7"},
+		{Instr{Op: OpNOP}, "nop"},
+		{Instr{Op: OpRET}, "ret"},
+		{Instr{Op: OpCUSTOM, CustomID: 3, Rd: 1, Rs: 2, Rt: 4}, "custom.3 a1, a2, a4"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	prog := []Instr{{Op: OpMOVI, Rd: 1, Imm: 5}, {Op: OpRET}}
+	text := Disassemble(prog)
+	if !strings.Contains(text, "movi a1, 5") || !strings.Contains(text, "ret") {
+		t.Fatalf("disassembly missing instructions:\n%s", text)
+	}
+	if !strings.Contains(text, "0:") || !strings.Contains(text, "1:") {
+		t.Fatalf("disassembly missing indices:\n%s", text)
+	}
+}
+
+func TestInstrPredicates(t *testing.T) {
+	if !(Instr{Op: OpBEQ}).IsBranch() {
+		t.Fatal("beq not a branch")
+	}
+	if (Instr{Op: OpADD}).IsBranch() {
+		t.Fatal("add is a branch")
+	}
+	if !(Instr{Op: OpCUSTOM}).IsCustom() {
+		t.Fatal("custom not custom")
+	}
+	if (Instr{Op: OpADD}).IsCustom() {
+		t.Fatal("add is custom")
+	}
+}

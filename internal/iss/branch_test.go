@@ -1,0 +1,200 @@
+package iss_test
+
+import (
+	"testing"
+)
+
+// branchProbe runs a branch with the given operand values and reports
+// whether it was taken (a1 = 1 if taken).
+func branchProbe(t *testing.T, op string, a, b int32) bool {
+	t.Helper()
+	src := `
+    movi a2, ` + itoa(a) + `
+    movi a3, ` + itoa(b) + `
+    movi a1, 0
+    ` + op + ` a2, a3, taken
+    ret
+taken:
+    movi a1, 1
+    ret
+`
+	res, _ := runSrc(t, src)
+	return res.Regs[1] == 1
+}
+
+func itoa(v int32) string {
+	// Small helper to avoid importing strconv in many call sites.
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func TestBranchRRSemantics(t *testing.T) {
+	cases := []struct {
+		op    string
+		a, b  int32
+		taken bool
+	}{
+		{"beq", 5, 5, true}, {"beq", 5, 6, false},
+		{"bne", 5, 6, true}, {"bne", 5, 5, false},
+		{"blt", -1, 0, true}, {"blt", 0, -1, false}, {"blt", 3, 3, false},
+		{"bge", 3, 3, true}, {"bge", -1, 0, false},
+		{"bltu", 1, -1, true},  // 1 < 0xFFFFFFFF unsigned
+		{"bltu", -1, 1, false}, // 0xFFFFFFFF !< 1
+		{"bgeu", -1, 1, true}, {"bgeu", 1, -1, false},
+		{"bany", 0x0F, 0x10, false}, {"bany", 0x0F, 0x18, true},
+		{"bnone", 0x0F, 0x10, true}, {"bnone", 0x0F, 0x18, false},
+		{"ball", 0x1F, 0x18, true}, {"ball", 0x0F, 0x18, false},
+		{"bnall", 0x0F, 0x18, true}, {"bnall", 0x1F, 0x18, false},
+	}
+	for _, tc := range cases {
+		if got := branchProbe(t, tc.op, tc.a, tc.b); got != tc.taken {
+			t.Errorf("%s %d,%d taken=%v, want %v", tc.op, tc.a, tc.b, got, tc.taken)
+		}
+	}
+}
+
+// branchRIProbe tests the register-immediate branch forms.
+func branchRIProbe(t *testing.T, op string, a int32, c int32) bool {
+	t.Helper()
+	src := `
+    movi a2, ` + itoa(a) + `
+    movi a1, 0
+    ` + op + ` a2, ` + itoa(c) + `, taken
+    ret
+taken:
+    movi a1, 1
+    ret
+`
+	res, _ := runSrc(t, src)
+	return res.Regs[1] == 1
+}
+
+func TestBranchRISemantics(t *testing.T) {
+	cases := []struct {
+		op    string
+		a, c  int32
+		taken bool
+	}{
+		{"beqi", 7, 7, true}, {"beqi", 7, -7, false},
+		{"beqi", -4, -4, true},
+		{"bnei", 7, 8, true}, {"bnei", 7, 7, false},
+		{"blti", -5, -4, true}, {"blti", -4, -5, false},
+		{"bgei", 0, 0, true}, {"bgei", -1, 0, false},
+		{"bltui", 3, 9, true}, {"bltui", 9, 3, false},
+		{"bgeui", 9, 3, true}, {"bgeui", 3, 9, false},
+		{"bbsi", 0x10, 4, true}, {"bbsi", 0x10, 3, false},
+		{"bbci", 0x10, 3, true}, {"bbci", 0x10, 4, false},
+	}
+	for _, tc := range cases {
+		if got := branchRIProbe(t, tc.op, tc.a, tc.c); got != tc.taken {
+			t.Errorf("%s %d,%d taken=%v, want %v", tc.op, tc.a, tc.c, got, tc.taken)
+		}
+	}
+}
+
+func TestBranchZeroForms(t *testing.T) {
+	cases := []struct {
+		op    string
+		a     int32
+		taken bool
+	}{
+		{"beqz", 0, true}, {"beqz", 1, false},
+		{"bnez", 1, true}, {"bnez", 0, false},
+		{"bltz", -1, true}, {"bltz", 0, false},
+		{"bgez", 0, true}, {"bgez", -1, false},
+	}
+	for _, tc := range cases {
+		src := `
+    movi a2, ` + itoa(tc.a) + `
+    movi a1, 0
+    ` + tc.op + ` a2, taken
+    ret
+taken:
+    movi a1, 1
+    ret
+`
+		res, _ := runSrc(t, src)
+		if got := res.Regs[1] == 1; got != tc.taken {
+			t.Errorf("%s %d taken=%v, want %v", tc.op, tc.a, got, tc.taken)
+		}
+	}
+}
+
+func TestCallXAndJXThroughRegisters(t *testing.T) {
+	// callx through a register-held target; the callee returns via jx a0.
+	res, _ := runSrc(t, `
+start:
+    movi a2, 3
+    movi a4, fn
+    callx a4
+    mov a1, a2
+    j end
+fn:
+    slli a2, a2, 4
+    jx a0
+end:
+`)
+	if res.Regs[1] != 48 {
+		t.Fatalf("callx result = %d, want 48", res.Regs[1])
+	}
+}
+
+func TestNestedCallsWithManualLinkSave(t *testing.T) {
+	// a0 is the only link register; nested calls save it manually.
+	res, _ := runSrc(t, `
+start:
+    movi a2, 1
+    call outer
+    mov a1, a2
+    j end
+outer:
+    mov a9, a0          ; save link
+    addi a2, a2, 10
+    call inner
+    addi a2, a2, 100
+    jx a9
+inner:
+    addi a2, a2, 1000
+    jx a0
+end:
+`)
+	if res.Regs[1] != 1111 {
+		t.Fatalf("nested call result = %d, want 1111", res.Regs[1])
+	}
+}
+
+func TestBackwardJumpLoop(t *testing.T) {
+	// j as a loop closer (always taken, jump class).
+	res, _ := runSrc(t, `
+start:
+    movi a2, 0
+    movi a3, 5
+loop:
+    addi a2, a2, 1
+    beq a2, a3, done
+    j loop
+done:
+    mov a1, a2
+    ret
+`)
+	if res.Regs[1] != 5 {
+		t.Fatalf("loop result = %d", res.Regs[1])
+	}
+}

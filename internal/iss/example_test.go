@@ -1,0 +1,33 @@
+package iss_test
+
+import (
+	"fmt"
+
+	"xtenergy/internal/asm"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+)
+
+// Run executes a program and returns the execution statistics the
+// energy macro-model consumes.
+func ExampleSimulator_Run() {
+	proc, _ := procgen.Generate(procgen.Default(), nil)
+	prog, _ := asm.New(proc.TIE).Assemble("demo", `
+start:
+    movi a2, 5
+    movi a3, 0
+loop:
+    add a3, a3, a2
+    addi a2, a2, -1
+    bnez a2, loop
+    ret
+`)
+	res, err := iss.New(proc).Run(prog, iss.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("sum = %d, retired = %d\n", res.Regs[3], res.Stats.Retired)
+	// Output:
+	// sum = 15, retired = 18
+}

@@ -1,0 +1,440 @@
+package iss
+
+import (
+	"fmt"
+	"math/bits"
+
+	"xtenergy/internal/isa"
+)
+
+// baseResult is the outcome of executing one base instruction.
+type baseResult struct {
+	cycles int
+	nextPC int
+	halt   bool
+}
+
+func signExtend6(v uint8) int32 {
+	return int32(int8(v<<2)) >> 2
+}
+
+// execBase executes one base-ISA instruction, updates architectural
+// state and class-cycle statistics, and fills the data-dependent fields
+// of the trace entry.
+func (s *Simulator) execBase(in isa.Instr, pc int, te *TraceEntry) (baseResult, error) {
+	d := in.Def()
+	rs := s.regs[in.Rs]
+	rt := s.regs[in.Rt]
+	te.RsVal, te.RtVal = rs, rt
+
+	res := baseResult{cycles: d.Cycles, nextPC: pc + 1}
+	writeRd := func(v uint32) {
+		s.regs[in.Rd] = v
+		te.Result = v
+	}
+	branch := func(taken bool) {
+		te.Taken = taken
+		if taken {
+			res.cycles += s.pipe.TakenPenalty
+			res.nextPC = pc + 1 + int(in.Imm)
+			s.stats.ClassCycles[CBranchTaken] += uint64(res.cycles)
+			s.pipe.Flush()
+		} else {
+			s.stats.ClassCycles[CBranchUntaken] += uint64(res.cycles)
+		}
+	}
+	jump := func(target int) {
+		res.cycles += s.pipe.JumpPenalty
+		res.nextPC = target
+		s.stats.ClassCycles[CJump] += uint64(res.cycles)
+		s.pipe.Flush()
+	}
+
+	switch in.Op {
+	// --- arithmetic / logic ---
+	case isa.OpADD:
+		writeRd(rs + rt)
+	case isa.OpADDI:
+		writeRd(rs + uint32(in.Imm))
+	case isa.OpSUB:
+		writeRd(rs - rt)
+	case isa.OpNEG:
+		writeRd(-rs)
+	case isa.OpAND:
+		writeRd(rs & rt)
+	case isa.OpANDI:
+		writeRd(rs & uint32(in.Imm))
+	case isa.OpOR:
+		writeRd(rs | rt)
+	case isa.OpORI:
+		writeRd(rs | uint32(in.Imm))
+	case isa.OpXOR:
+		writeRd(rs ^ rt)
+	case isa.OpXORI:
+		writeRd(rs ^ uint32(in.Imm))
+	case isa.OpNOT:
+		writeRd(^rs)
+	case isa.OpSLL:
+		writeRd(rs << (rt & 31))
+	case isa.OpSLLI:
+		writeRd(rs << (uint32(in.Imm) & 31))
+	case isa.OpSRL:
+		writeRd(rs >> (rt & 31))
+	case isa.OpSRLI:
+		writeRd(rs >> (uint32(in.Imm) & 31))
+	case isa.OpSRA:
+		writeRd(uint32(int32(rs) >> (rt & 31)))
+	case isa.OpSRAI:
+		writeRd(uint32(int32(rs) >> (uint32(in.Imm) & 31)))
+	case isa.OpSLT:
+		writeRd(boolToU32(int32(rs) < int32(rt)))
+	case isa.OpSLTI:
+		writeRd(boolToU32(int32(rs) < in.Imm))
+	case isa.OpSLTU:
+		writeRd(boolToU32(rs < rt))
+	case isa.OpSLTIU:
+		writeRd(boolToU32(rs < uint32(in.Imm)))
+	case isa.OpMOVI:
+		writeRd(uint32(in.Imm))
+	case isa.OpMOV:
+		writeRd(rs)
+	case isa.OpMOVEQZ:
+		if rt == 0 {
+			writeRd(rs)
+		} else {
+			writeRd(s.regs[in.Rd])
+		}
+	case isa.OpMOVNEZ:
+		if rt != 0 {
+			writeRd(rs)
+		} else {
+			writeRd(s.regs[in.Rd])
+		}
+	case isa.OpMOVLTZ:
+		if int32(rt) < 0 {
+			writeRd(rs)
+		} else {
+			writeRd(s.regs[in.Rd])
+		}
+	case isa.OpMOVGEZ:
+		if int32(rt) >= 0 {
+			writeRd(rs)
+		} else {
+			writeRd(s.regs[in.Rd])
+		}
+	case isa.OpMUL:
+		writeRd(rs * rt)
+	case isa.OpMULH:
+		writeRd(uint32(uint64(int64(int32(rs))*int64(int32(rt))) >> 32))
+	case isa.OpMULHU:
+		writeRd(uint32(uint64(rs) * uint64(rt) >> 32))
+	case isa.OpMIN:
+		writeRd(minS(rs, rt))
+	case isa.OpMAX:
+		writeRd(maxS(rs, rt))
+	case isa.OpMINU:
+		writeRd(minU(rs, rt))
+	case isa.OpMAXU:
+		writeRd(maxU(rs, rt))
+	case isa.OpABS:
+		if int32(rs) < 0 {
+			writeRd(-rs)
+		} else {
+			writeRd(rs)
+		}
+	case isa.OpSEXT8:
+		writeRd(uint32(int32(int8(rs))))
+	case isa.OpSEXT16:
+		writeRd(uint32(int32(int16(rs))))
+	case isa.OpCLAMPS:
+		writeRd(clamps(rs, in.Imm))
+	case isa.OpNSA:
+		writeRd(nsa(rs))
+	case isa.OpNSAU:
+		writeRd(uint32(bits.LeadingZeros32(rs)))
+	case isa.OpEXTUI:
+		// Imm packs the field: bits [4:0] = shift, bits [9:5] = width-1.
+		shift := uint32(in.Imm) & 31
+		width := (uint32(in.Imm)>>5)&31 + 1
+		writeRd((rs >> shift) & ((1 << width) - 1))
+	case isa.OpNOP:
+		// nothing
+
+	// --- loads ---
+	case isa.OpL8UI, isa.OpL8SI, isa.OpL16UI, isa.OpL16SI, isa.OpL32I, isa.OpL32R:
+		var addr uint32
+		if in.Op == isa.OpL32R {
+			addr = uint32(in.Imm)
+		} else {
+			addr = rs + uint32(in.Imm)
+		}
+		size := loadSize(in.Op)
+		v, err := s.load(addr, size)
+		if err != nil {
+			return res, err
+		}
+		switch in.Op {
+		case isa.OpL8SI:
+			v = uint32(int32(int8(v)))
+		case isa.OpL16SI:
+			v = uint32(int32(int16(v)))
+		}
+		te.Addr = addr
+		if !s.dc.Access(addr) {
+			s.stats.DCacheMisses++
+			pen := s.dc.MissPenalty()
+			s.stats.StallCycles += uint64(pen)
+			res.cycles += pen
+			te.DCMiss = true
+		}
+		writeRd(v)
+		s.stats.ClassCycles[CLoad] += uint64(d.Cycles)
+		return res, nil
+
+	// --- stores ---
+	case isa.OpS8I, isa.OpS16I, isa.OpS32I:
+		addr := rs + uint32(in.Imm)
+		size := storeSize(in.Op)
+		val := s.regs[in.Rd] // store data register is Rd
+		if err := s.store(addr, size, val); err != nil {
+			return res, err
+		}
+		te.Addr = addr
+		te.Result = val
+		if !s.dc.Access(addr) {
+			s.stats.DCacheMisses++
+			pen := s.dc.MissPenalty()
+			s.stats.StallCycles += uint64(pen)
+			res.cycles += pen
+			te.DCMiss = true
+		}
+		s.stats.ClassCycles[CStore] += uint64(d.Cycles)
+		return res, nil
+
+	// --- jumps ---
+	case isa.OpJ:
+		jump(int(in.Imm))
+		return res, nil
+	case isa.OpJX:
+		if rs == haltPC {
+			res.halt = true
+			s.stats.ClassCycles[CJump] += uint64(res.cycles)
+			return res, nil
+		}
+		jump(int(rs))
+		return res, nil
+	case isa.OpCALL:
+		s.regs[0] = uint32(pc + 1)
+		jump(int(in.Imm))
+		return res, nil
+	case isa.OpCALLX:
+		s.regs[0] = uint32(pc + 1)
+		jump(int(rs))
+		return res, nil
+	case isa.OpRET:
+		target := s.regs[0]
+		if target == haltPC {
+			res.halt = true
+			s.stats.ClassCycles[CJump] += uint64(res.cycles)
+			return res, nil
+		}
+		jump(int(target))
+		return res, nil
+
+	// --- zero-overhead loops (configurable option) ---
+	case isa.OpLOOP, isa.OpLOOPNEZ:
+		if !s.proc.Config.HasLoops {
+			return res, fmt.Errorf("illegal instruction: %s requires the zero-overhead loop option", in.Op.Name())
+		}
+		end := pc + 1 + int(in.Imm)
+		if end <= pc+1 || end > len(s.prog.Code) {
+			return res, fmt.Errorf("%s target %d out of range", in.Op.Name(), end)
+		}
+		if in.Op == isa.OpLOOPNEZ && rs == 0 {
+			// Skip the body entirely; treated like a taken redirect.
+			res.cycles += s.pipe.TakenPenalty
+			res.nextPC = end
+			s.stats.ClassCycles[CArith] += uint64(res.cycles)
+			s.pipe.Flush()
+			s.loopActive = false
+			return res, nil
+		}
+		s.loopActive = true
+		s.loopBegin = pc + 1
+		s.loopEnd = end
+		s.loopCount = rs - 1
+		s.stats.ClassCycles[CArith] += uint64(res.cycles)
+		return res, nil
+
+	// --- branches: register-register ---
+	case isa.OpBEQ:
+		branch(rs == rt)
+		return res, nil
+	case isa.OpBNE:
+		branch(rs != rt)
+		return res, nil
+	case isa.OpBLT:
+		branch(int32(rs) < int32(rt))
+		return res, nil
+	case isa.OpBGE:
+		branch(int32(rs) >= int32(rt))
+		return res, nil
+	case isa.OpBLTU:
+		branch(rs < rt)
+		return res, nil
+	case isa.OpBGEU:
+		branch(rs >= rt)
+		return res, nil
+	case isa.OpBANY:
+		branch(rs&rt != 0)
+		return res, nil
+	case isa.OpBNONE:
+		branch(rs&rt == 0)
+		return res, nil
+	case isa.OpBALL:
+		branch(rs&rt == rt)
+		return res, nil
+	case isa.OpBNALL:
+		branch(rs&rt != rt)
+		return res, nil
+
+	// --- branches: register-immediate (constant in Rt field) ---
+	case isa.OpBEQI:
+		branch(int32(rs) == signExtend6(in.Rt))
+		return res, nil
+	case isa.OpBNEI:
+		branch(int32(rs) != signExtend6(in.Rt))
+		return res, nil
+	case isa.OpBLTI:
+		branch(int32(rs) < signExtend6(in.Rt))
+		return res, nil
+	case isa.OpBGEI:
+		branch(int32(rs) >= signExtend6(in.Rt))
+		return res, nil
+	case isa.OpBLTUI:
+		branch(rs < uint32(in.Rt))
+		return res, nil
+	case isa.OpBGEUI:
+		branch(rs >= uint32(in.Rt))
+		return res, nil
+
+	// --- branches: register-zero and bit tests ---
+	case isa.OpBEQZ:
+		branch(rs == 0)
+		return res, nil
+	case isa.OpBNEZ:
+		branch(rs != 0)
+		return res, nil
+	case isa.OpBLTZ:
+		branch(int32(rs) < 0)
+		return res, nil
+	case isa.OpBGEZ:
+		branch(int32(rs) >= 0)
+		return res, nil
+	case isa.OpBBCI:
+		branch(rs&(1<<(in.Rt&31)) == 0)
+		return res, nil
+	case isa.OpBBSI:
+		branch(rs&(1<<(in.Rt&31)) != 0)
+		return res, nil
+
+	default:
+		return res, fmt.Errorf("unimplemented opcode %s", in.Op.Name())
+	}
+
+	// Fallthrough: plain arithmetic-class instructions.
+	s.stats.ClassCycles[CArith] += uint64(d.Cycles)
+	return res, nil
+}
+
+func loadSize(op isa.Opcode) int {
+	switch op {
+	case isa.OpL8UI, isa.OpL8SI:
+		return 1
+	case isa.OpL16UI, isa.OpL16SI:
+		return 2
+	default:
+		return 4
+	}
+}
+
+func storeSize(op isa.Opcode) int {
+	switch op {
+	case isa.OpS8I:
+		return 1
+	case isa.OpS16I:
+		return 2
+	default:
+		return 4
+	}
+}
+
+func boolToU32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func minS(a, b uint32) uint32 {
+	if int32(a) < int32(b) {
+		return a
+	}
+	return b
+}
+
+func maxS(a, b uint32) uint32 {
+	if int32(a) > int32(b) {
+		return a
+	}
+	return b
+}
+
+func minU(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// clamps clamps the signed value v to the range of a bits-bit signed
+// integer (bits is clipped to 1..31).
+func clamps(v uint32, bitsImm int32) uint32 {
+	b := bitsImm
+	if b < 1 {
+		b = 1
+	}
+	if b > 31 {
+		b = 31
+	}
+	max := int32(1)<<(b-1) - 1
+	min := -int32(1) << (b - 1)
+	sv := int32(v)
+	if sv > max {
+		return uint32(max)
+	}
+	if sv < min {
+		return uint32(min)
+	}
+	return v
+}
+
+// nsa returns the Xtensa normalization shift amount for a signed value:
+// the number of left shifts needed to normalize it (31 for 0 and -1).
+func nsa(v uint32) uint32 {
+	x := v
+	if int32(v) < 0 {
+		x = ^v
+	}
+	if x == 0 {
+		return 31
+	}
+	return uint32(bits.LeadingZeros32(x)) - 1
+}

@@ -1,0 +1,75 @@
+// Package iss is the XT32 instruction-set simulator.
+//
+// It plays the role of the Xtensa SDK's instruction set simulator in the
+// paper's flow (Fig. 2, steps 6 and 9): it executes a program — base
+// instructions plus any TIE custom instructions — functionally, with a
+// cycle-approximate timing model (five-stage pipeline interlocks, taken/
+// untaken branch costs, 4-way set-associative I/D caches, uncached
+// fetches), and gathers exactly the execution statistics the energy
+// macro-model consumes. It can also record a dynamic execution trace for
+// the RTL-level reference power estimator and for dynamic resource-usage
+// analysis.
+package iss
+
+import (
+	"fmt"
+
+	"xtenergy/internal/isa"
+)
+
+// Segment is an initialized data region of a program image.
+type Segment struct {
+	// Addr is the start byte address within cacheable RAM.
+	Addr uint32
+	// Bytes is the initial content.
+	Bytes []byte
+}
+
+// Program is an executable program image: code, initialized data, and
+// layout metadata. Instruction i resides at byte address CodeBase+4*i.
+type Program struct {
+	// Name labels the program in reports.
+	Name string
+	// Code is the instruction stream.
+	Code []isa.Instr
+	// Data lists initialized data segments.
+	Data []Segment
+	// Entry is the word index where execution starts.
+	Entry int
+	// Uncached flags instructions that reside in the uncached region
+	// (fetches bypass the I-cache and count as uncached instruction
+	// fetches). Nil means fully cached; otherwise it must have the same
+	// length as Code.
+	Uncached []bool
+	// CodeBase is the byte address of Code[0]; it determines I-cache
+	// indexing. The default 0 is fine for standalone programs.
+	CodeBase uint32
+	// Labels maps code labels to their instruction index (populated by
+	// the assembler; used for region-level energy profiling).
+	Labels map[string]int
+}
+
+// Validate checks structural invariants of the program image.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("iss: program %q has no code", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Code) {
+		return fmt.Errorf("iss: program %q entry %d out of range [0,%d)", p.Name, p.Entry, len(p.Code))
+	}
+	if p.Uncached != nil && len(p.Uncached) != len(p.Code) {
+		return fmt.Errorf("iss: program %q has %d uncached flags for %d instructions", p.Name, len(p.Uncached), len(p.Code))
+	}
+	for i, in := range p.Code {
+		if _, ok := isa.Lookup(in.Op); !ok {
+			return fmt.Errorf("iss: program %q instruction %d has invalid opcode", p.Name, i)
+		}
+	}
+	return nil
+}
+
+// IsUncached reports whether instruction index i lies in the uncached
+// region.
+func (p *Program) IsUncached(i int) bool {
+	return p.Uncached != nil && i >= 0 && i < len(p.Uncached) && p.Uncached[i]
+}

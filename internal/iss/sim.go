@@ -1,0 +1,369 @@
+package iss
+
+import (
+	"fmt"
+
+	"xtenergy/internal/cache"
+	"xtenergy/internal/isa"
+	"xtenergy/internal/pipeline"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/tie"
+)
+
+// haltPC is the link-register sentinel: a RET (or JX) to this value halts
+// the program. The simulator initializes a0 to it, so a top-level "ret"
+// ends the run.
+const haltPC = 0xFFFF_FFFF
+
+// UncachedFetchPenalty is the stall, in cycles, charged per uncached
+// instruction fetch (bus access instead of I-cache). Exported because the
+// RTL reference power model needs to know how long the bus is busy.
+const UncachedFetchPenalty = 6
+
+// Options configures a simulation run.
+type Options struct {
+	// CollectTrace records a TraceEntry per retired instruction
+	// (required by the RTL reference power estimator).
+	CollectTrace bool
+	// MaxCycles aborts runaway programs; 0 means the default (200M).
+	MaxCycles uint64
+}
+
+// DefaultMaxCycles is the watchdog limit when Options.MaxCycles is 0.
+const DefaultMaxCycles = 200_000_000
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	// Stats are the macro-model execution statistics.
+	Stats Stats
+	// Trace is the dynamic execution trace (nil unless requested).
+	Trace []TraceEntry
+	// Regs is the final general register file.
+	Regs [isa.NumRegs]uint32
+	// TIE is the final custom state (nil when the processor has no
+	// extension or no custom registers).
+	TIE *tie.State
+}
+
+// Simulator executes XT32 programs on a generated processor instance.
+// A Simulator is not safe for concurrent use; create one per goroutine.
+type Simulator struct {
+	proc *procgen.Processor
+
+	regs [isa.NumRegs]uint32
+	tie  *tie.State
+	mem  []byte
+
+	ic, dc *cache.Cache
+	pipe   *pipeline.Model
+
+	prog  *Program
+	stats Stats
+	trace []TraceEntry
+
+	// Zero-overhead loop state (the configurable loop option): when
+	// loopActive and execution reaches loopEnd, control returns to
+	// loopBegin until the count is exhausted — with no branch penalty.
+	loopActive bool
+	loopBegin  int
+	loopEnd    int
+	loopCount  uint32
+}
+
+// New returns a simulator for the given processor.
+func New(p *procgen.Processor) *Simulator {
+	s := &Simulator{
+		proc: p,
+		mem:  make([]byte, p.Config.MemBytes),
+		ic:   cache.New(p.Config.ICache),
+		dc:   cache.New(p.Config.DCache),
+		pipe: pipeline.New(),
+	}
+	if p.TIE.Ext != nil && p.TIE.Ext.NumCustomRegs > 0 {
+		s.tie = tie.NewState(p.TIE.Ext.NumCustomRegs)
+	}
+	return s
+}
+
+// Processor returns the processor the simulator was built for.
+func (s *Simulator) Processor() *procgen.Processor { return s.proc }
+
+// Run executes prog to completion and returns its statistics.
+func (s *Simulator) Run(prog *Program, opts Options) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	s.reset(prog)
+	if opts.CollectTrace {
+		s.trace = make([]TraceEntry, 0, 4096)
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = DefaultMaxCycles
+	}
+
+	pc := prog.Entry
+	for {
+		if pc == len(prog.Code) {
+			break // fell off the end: normal halt
+		}
+		if pc < 0 || pc > len(prog.Code) {
+			return nil, fmt.Errorf("iss: %s: pc %d out of range [0,%d]", prog.Name, pc, len(prog.Code))
+		}
+		if s.stats.Cycles > maxCycles {
+			return nil, fmt.Errorf("iss: %s: exceeded %d cycles (runaway program?)", prog.Name, maxCycles)
+		}
+		next, halt, err := s.step(pc, opts.CollectTrace)
+		if err != nil {
+			return nil, fmt.Errorf("iss: %s at pc %d (%s): %w", prog.Name, pc, prog.Code[pc], err)
+		}
+		if halt {
+			break
+		}
+		pc = next
+	}
+
+	res := &Result{Stats: s.stats, Trace: s.trace, Regs: s.regs}
+	if s.tie != nil {
+		res.TIE = s.tie.Clone()
+	}
+	return res, nil
+}
+
+func (s *Simulator) reset(prog *Program) {
+	s.prog = prog
+	s.regs = [isa.NumRegs]uint32{}
+	s.regs[0] = haltPC // link register sentinel: top-level ret halts
+	for i := range s.mem {
+		s.mem[i] = 0
+	}
+	for _, seg := range prog.Data {
+		copy(s.mem[seg.Addr:], seg.Bytes)
+	}
+	s.ic.Reset()
+	s.dc.Reset()
+	s.pipe.Reset()
+	s.loopActive = false
+	s.stats = Stats{}
+	if n := s.proc.TIE.NumInstructions(); n > 0 {
+		s.stats.CustomExec = make([]uint64, n)
+	}
+	if s.tie != nil {
+		s.tie.Reset()
+	}
+	s.trace = nil
+}
+
+// step retires the instruction at pc and returns the next pc.
+func (s *Simulator) step(pc int, collect bool) (next int, halt bool, err error) {
+	in := s.prog.Code[pc]
+	d := in.Def()
+
+	var te TraceEntry
+	cycles := 0
+
+	// --- Fetch ---
+	if s.prog.IsUncached(pc) {
+		s.stats.UncachedFetches++
+		s.stats.StallCycles += UncachedFetchPenalty
+		cycles += UncachedFetchPenalty
+		te.Uncached = true
+	} else {
+		addr := s.prog.CodeBase + uint32(pc)*isa.WordBytes
+		if !s.ic.Access(addr) {
+			s.stats.ICacheMisses++
+			pen := s.ic.MissPenalty()
+			s.stats.StallCycles += uint64(pen)
+			cycles += pen
+			te.ICMiss = true
+		}
+	}
+
+	// --- Interlock detection ---
+	stall := s.pipe.Interlock(pipeline.Use{
+		ReadsRs:  d.ReadsRs || s.customReadsGeneral(in),
+		ReadsRt:  d.ReadsRt || s.customReadsGeneral(in),
+		Rs:       in.Rs,
+		Rt:       in.Rt,
+		IsLoad:   d.Class == isa.ClassLoad,
+		IsMult:   in.Op == isa.OpMUL || in.Op == isa.OpMULH || in.Op == isa.OpMULHU,
+		WritesRd: d.WritesRd || s.customWritesGeneral(in),
+		Rd:       in.Rd,
+	})
+	if stall > 0 {
+		s.stats.Interlocks++
+		s.stats.StallCycles += uint64(stall)
+		cycles += stall
+		te.Interlock = true
+	}
+
+	// --- Execute ---
+	s.stats.Retired++
+	s.stats.OpcodeExec[in.Op]++
+
+	if in.IsCustom() {
+		n, err := s.execCustom(in, &te)
+		if err != nil {
+			return 0, false, err
+		}
+		cycles += n
+		s.finishEntry(&te, pc, in, cycles, collect)
+		return s.loopBack(pc + 1), false, nil
+	}
+
+	r, err := s.execBase(in, pc, &te)
+	if err != nil {
+		return 0, false, err
+	}
+	cycles += r.cycles
+	s.finishEntry(&te, pc, in, cycles, collect)
+	if r.halt {
+		return 0, true, nil
+	}
+	return s.loopBack(r.nextPC), false, nil
+}
+
+// loopBack applies the zero-overhead loop option: reaching the loop end
+// redirects to the loop begin with no bubble (the hardware tracks the
+// addresses in dedicated registers).
+func (s *Simulator) loopBack(next int) int {
+	if s.loopActive && next == s.loopEnd {
+		if s.loopCount > 0 {
+			s.loopCount--
+			return s.loopBegin
+		}
+		s.loopActive = false
+	}
+	return next
+}
+
+func (s *Simulator) customReadsGeneral(in isa.Instr) bool {
+	if !in.IsCustom() {
+		return false
+	}
+	ci, err := s.proc.TIE.Instruction(in.CustomID)
+	return err == nil && ci.ReadsGeneral
+}
+
+func (s *Simulator) customWritesGeneral(in isa.Instr) bool {
+	if !in.IsCustom() {
+		return false
+	}
+	ci, err := s.proc.TIE.Instruction(in.CustomID)
+	return err == nil && ci.WritesGeneral
+}
+
+// execCustom executes a TIE instruction and returns its cycle cost.
+func (s *Simulator) execCustom(in isa.Instr, te *TraceEntry) (int, error) {
+	ci, err := s.proc.TIE.Instruction(in.CustomID)
+	if err != nil {
+		return 0, err
+	}
+	ops := tie.Operands{Rd: in.Rd, Rs: in.Rs, Rt: in.Rt, Imm: in.Imm}
+	if ci.ImmOperand {
+		// The Rt field carries a 6-bit signed constant decoded by the
+		// generated immediate-generation logic.
+		ops.Imm = int32(int8(in.Rt<<2)) >> 2
+	}
+	if ci.ReadsGeneral {
+		ops.RsVal = s.regs[in.Rs]
+		if !ci.ImmOperand {
+			ops.RtVal = s.regs[in.Rt]
+		}
+		te.RsVal, te.RtVal = ops.RsVal, ops.RtVal
+	}
+	st := s.tie
+	if st == nil {
+		st = &tie.State{}
+	}
+	result := ci.Semantics(st, ops)
+	if ci.WritesGeneral {
+		s.regs[in.Rd] = result
+		te.Result = result
+	}
+
+	s.stats.CustomCycles += uint64(ci.Latency)
+	s.stats.CustomExec[in.CustomID]++
+	if ci.AccessesGeneralRegfile() {
+		s.stats.CustomRegfileCycles += uint64(ci.Latency)
+	}
+	return ci.Latency, nil
+}
+
+func (s *Simulator) finishEntry(te *TraceEntry, pc int, in isa.Instr, cycles int, collect bool) {
+	s.stats.Cycles += uint64(cycles)
+	if collect {
+		te.PC = int32(pc)
+		te.Instr = in
+		if cycles > 0xFFFF {
+			cycles = 0xFFFF
+		}
+		te.Cycles = uint16(cycles)
+		s.trace = append(s.trace, *te)
+	}
+}
+
+// --- memory access helpers (little endian, bounds- and alignment-checked) ---
+
+func (s *Simulator) load(addr uint32, size int) (uint32, error) {
+	if err := s.checkMem(addr, size); err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		return uint32(s.mem[addr]), nil
+	case 2:
+		return uint32(s.mem[addr]) | uint32(s.mem[addr+1])<<8, nil
+	default:
+		return uint32(s.mem[addr]) | uint32(s.mem[addr+1])<<8 |
+			uint32(s.mem[addr+2])<<16 | uint32(s.mem[addr+3])<<24, nil
+	}
+}
+
+func (s *Simulator) store(addr uint32, size int, v uint32) error {
+	if err := s.checkMem(addr, size); err != nil {
+		return err
+	}
+	switch size {
+	case 1:
+		s.mem[addr] = byte(v)
+	case 2:
+		s.mem[addr] = byte(v)
+		s.mem[addr+1] = byte(v >> 8)
+	default:
+		s.mem[addr] = byte(v)
+		s.mem[addr+1] = byte(v >> 8)
+		s.mem[addr+2] = byte(v >> 16)
+		s.mem[addr+3] = byte(v >> 24)
+	}
+	return nil
+}
+
+func (s *Simulator) checkMem(addr uint32, size int) error {
+	if addr%uint32(size) != 0 {
+		return fmt.Errorf("unaligned %d-byte access at %#x", size, addr)
+	}
+	if int(addr)+size > len(s.mem) {
+		return fmt.Errorf("memory access at %#x beyond %d-byte RAM", addr, len(s.mem))
+	}
+	return nil
+}
+
+// ReadMem copies out sz bytes of simulated memory starting at addr (for
+// tests and tools inspecting program results).
+func (s *Simulator) ReadMem(addr uint32, sz int) ([]byte, error) {
+	if err := s.checkMem(addr, 1); err != nil {
+		return nil, err
+	}
+	if int(addr)+sz > len(s.mem) {
+		return nil, fmt.Errorf("iss: read of %d bytes at %#x beyond RAM", sz, addr)
+	}
+	out := make([]byte, sz)
+	copy(out, s.mem[addr:])
+	return out, nil
+}
+
+// ReadWord returns the 32-bit little-endian word at addr.
+func (s *Simulator) ReadWord(addr uint32) (uint32, error) {
+	return s.load(addr, 4)
+}

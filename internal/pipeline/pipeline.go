@@ -1,0 +1,92 @@
+// Package pipeline models the timing behaviour of the XT32 five-stage
+// RISC pipeline that the instruction-set simulator needs in order to
+// count the macro-model's non-ideal-case variables: data- and
+// control-dependent interlocks and control-flow penalties.
+//
+// The model is deliberately compact — the macro-model consumes event
+// counts and per-class cycle counts, not a cycle-by-cycle pipe diagram —
+// but it reproduces the classic five-stage hazards:
+//
+//   - load-use interlock: an instruction consuming the destination of the
+//     immediately preceding load stalls one cycle (the MEM->EX bypass
+//     gap);
+//   - multiplier interlock: the iterative 32-bit multiplier occupies EX
+//     for two cycles, so an immediately dependent consumer stalls;
+//   - taken-branch and jump penalties: redirecting the front end costs
+//     TakenPenalty/JumpPenalty bubble cycles.
+package pipeline
+
+// Model tracks the pipeline hazards of consecutive instructions.
+type Model struct {
+	// TakenPenalty is the bubble cost of a taken conditional branch.
+	TakenPenalty int
+	// JumpPenalty is the bubble cost of an unconditional jump/call/return.
+	JumpPenalty int
+
+	// lastLoadDest is the register written by the load retired in the
+	// previous slot, or -1.
+	lastLoadDest int
+	// lastMultDest is the register written by a multiply retired in the
+	// previous slot, or -1.
+	lastMultDest int
+}
+
+// New returns a pipeline model with the default XT32 penalties
+// (2-cycle redirect for taken branches and jumps).
+func New() *Model {
+	return &Model{TakenPenalty: 2, JumpPenalty: 2, lastLoadDest: -1, lastMultDest: -1}
+}
+
+// Reset clears hazard-tracking state.
+func (m *Model) Reset() {
+	m.lastLoadDest = -1
+	m.lastMultDest = -1
+}
+
+// Use describes the register usage of the instruction entering the
+// pipeline this slot.
+type Use struct {
+	ReadsRs, ReadsRt bool
+	Rs, Rt           uint8
+	// IsLoad / IsMult / WritesRd / Rd describe the instruction itself so
+	// the model can set up hazards for its successor.
+	IsLoad, IsMult bool
+	WritesRd       bool
+	Rd             uint8
+}
+
+// Interlock returns the number of stall cycles charged to the incoming
+// instruction due to dependences on its predecessor, and updates hazard
+// state for the next slot. A non-zero return corresponds to one
+// "processor interlock" event in the macro-model.
+func (m *Model) Interlock(u Use) int {
+	stall := 0
+	if m.lastLoadDest >= 0 {
+		if (u.ReadsRs && int(u.Rs) == m.lastLoadDest) || (u.ReadsRt && int(u.Rt) == m.lastLoadDest) {
+			stall = 1
+		}
+	}
+	if stall == 0 && m.lastMultDest >= 0 {
+		if (u.ReadsRs && int(u.Rs) == m.lastMultDest) || (u.ReadsRt && int(u.Rt) == m.lastMultDest) {
+			stall = 1
+		}
+	}
+
+	m.lastLoadDest = -1
+	m.lastMultDest = -1
+	if u.WritesRd {
+		if u.IsLoad {
+			m.lastLoadDest = int(u.Rd)
+		} else if u.IsMult {
+			m.lastMultDest = int(u.Rd)
+		}
+	}
+	return stall
+}
+
+// Flush clears hazard state after a control-flow redirect (the bubble
+// slots cannot carry hazards into the new path).
+func (m *Model) Flush() {
+	m.lastLoadDest = -1
+	m.lastMultDest = -1
+}

@@ -1,0 +1,102 @@
+package pipeline
+
+import "testing"
+
+func load(rd uint8) Use {
+	return Use{IsLoad: true, WritesRd: true, Rd: rd}
+}
+
+func alu(rd, rs, rt uint8) Use {
+	return Use{ReadsRs: true, ReadsRt: true, Rs: rs, Rt: rt, WritesRd: true, Rd: rd}
+}
+
+func mult(rd, rs, rt uint8) Use {
+	return Use{ReadsRs: true, ReadsRt: true, Rs: rs, Rt: rt, IsMult: true, WritesRd: true, Rd: rd}
+}
+
+func TestLoadUseInterlock(t *testing.T) {
+	m := New()
+	if s := m.Interlock(load(4)); s != 0 {
+		t.Fatalf("load stalled: %d", s)
+	}
+	if s := m.Interlock(alu(5, 4, 6)); s != 1 {
+		t.Fatalf("load-use did not stall: %d", s)
+	}
+}
+
+func TestLoadUseViaRt(t *testing.T) {
+	m := New()
+	m.Interlock(load(4))
+	if s := m.Interlock(alu(5, 6, 4)); s != 1 {
+		t.Fatalf("load-use through rt did not stall: %d", s)
+	}
+}
+
+func TestNoInterlockWithoutDependence(t *testing.T) {
+	m := New()
+	m.Interlock(load(4))
+	if s := m.Interlock(alu(5, 6, 7)); s != 0 {
+		t.Fatalf("independent instruction stalled: %d", s)
+	}
+}
+
+func TestInterlockOnlyOneSlot(t *testing.T) {
+	// The hazard window is a single slot: load, unrelated, use -> no stall.
+	m := New()
+	m.Interlock(load(4))
+	m.Interlock(alu(9, 10, 11))
+	if s := m.Interlock(alu(5, 4, 6)); s != 0 {
+		t.Fatalf("stale hazard stalled: %d", s)
+	}
+}
+
+func TestMultInterlock(t *testing.T) {
+	m := New()
+	m.Interlock(mult(4, 1, 2))
+	if s := m.Interlock(alu(5, 4, 6)); s != 1 {
+		t.Fatalf("mult-use did not stall: %d", s)
+	}
+}
+
+func TestStoreDoesNotCreateHazard(t *testing.T) {
+	m := New()
+	// A store reads registers but writes none.
+	m.Interlock(Use{ReadsRs: true, Rs: 4})
+	if s := m.Interlock(alu(5, 4, 6)); s != 0 {
+		t.Fatalf("store created a hazard: %d", s)
+	}
+}
+
+func TestFlushClearsHazards(t *testing.T) {
+	m := New()
+	m.Interlock(load(4))
+	m.Flush()
+	if s := m.Interlock(alu(5, 4, 6)); s != 0 {
+		t.Fatalf("hazard survived flush: %d", s)
+	}
+}
+
+func TestResetClearsHazards(t *testing.T) {
+	m := New()
+	m.Interlock(load(4))
+	m.Reset()
+	if s := m.Interlock(alu(5, 4, 6)); s != 0 {
+		t.Fatalf("hazard survived reset: %d", s)
+	}
+}
+
+func TestDefaultPenalties(t *testing.T) {
+	m := New()
+	if m.TakenPenalty != 2 || m.JumpPenalty != 2 {
+		t.Fatalf("penalties %d/%d, want 2/2", m.TakenPenalty, m.JumpPenalty)
+	}
+}
+
+func TestNonReadingInstructionNeverStalls(t *testing.T) {
+	m := New()
+	m.Interlock(load(4))
+	// A movi-like instruction reads nothing.
+	if s := m.Interlock(Use{WritesRd: true, Rd: 4}); s != 0 {
+		t.Fatalf("non-reading instruction stalled: %d", s)
+	}
+}

@@ -1,0 +1,279 @@
+// Package profiler attributes a program's macro-model energy to
+// individual instructions and labeled code regions — a software energy
+// profiler in the tradition of the instruction-level power profilers the
+// paper builds on, but driven by the characterized macro-model instead
+// of measurements.
+//
+// Attribution is exact by construction: each retired instruction's
+// contribution to the 21 macro-model variables is priced with the fitted
+// coefficients, so the per-instruction energies sum to precisely the
+// macro-model's whole-program estimate.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/isa"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+)
+
+// Line is the profile of one static instruction.
+type Line struct {
+	// PC is the instruction's word index.
+	PC int
+	// Instr is the static instruction.
+	Instr isa.Instr
+	// Count is how many times it retired.
+	Count uint64
+	// Cycles is the total cycles charged to it (including stalls).
+	Cycles uint64
+	// EnergyPJ is the macro-model energy attributed to it.
+	EnergyPJ float64
+}
+
+// Region aggregates the lines between two consecutive code labels.
+type Region struct {
+	// Label names the region (the label opening it; "(entry)" before the
+	// first label).
+	Label string
+	// StartPC and EndPC bound the region: [StartPC, EndPC).
+	StartPC, EndPC int
+	Cycles         uint64
+	EnergyPJ       float64
+	// Percent is the region's share of total energy.
+	Percent float64
+}
+
+// Report is a program's energy profile.
+type Report struct {
+	// Lines holds every executed static instruction, by PC.
+	Lines []Line
+	// Regions holds the label-level aggregation, sorted by energy
+	// descending.
+	Regions []Region
+	// TotalPJ is the whole-program macro-model energy; it equals the sum
+	// of the line energies exactly.
+	TotalPJ float64
+	// Cycles is the total cycle count.
+	Cycles uint64
+}
+
+// Profile attributes the model's energy over the program's trace.
+// The trace must have been collected on proc (Options.CollectTrace).
+func Profile(model *core.MacroModel, proc *procgen.Processor, prog *iss.Program, trace []iss.TraceEntry) (*Report, error) {
+	if model == nil {
+		return nil, fmt.Errorf("profiler: nil model")
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("profiler: empty trace")
+	}
+
+	icPen := proc.Config.ICache.MissPenalty
+	dcPen := proc.Config.DCache.MissPenalty
+
+	perPC := make(map[int]*Line)
+	var totalPJ float64
+	var totalCycles uint64
+
+	for i := range trace {
+		te := &trace[i]
+		pj, err := entryEnergy(model, proc, te, icPen, dcPen)
+		if err != nil {
+			return nil, err
+		}
+		ln := perPC[int(te.PC)]
+		if ln == nil {
+			ln = &Line{PC: int(te.PC), Instr: te.Instr}
+			perPC[int(te.PC)] = ln
+		}
+		ln.Count++
+		ln.Cycles += uint64(te.Cycles)
+		ln.EnergyPJ += pj
+		totalPJ += pj
+		totalCycles += uint64(te.Cycles)
+	}
+
+	rep := &Report{TotalPJ: totalPJ, Cycles: totalCycles}
+	for _, ln := range perPC {
+		rep.Lines = append(rep.Lines, *ln)
+	}
+	sort.Slice(rep.Lines, func(a, b int) bool { return rep.Lines[a].PC < rep.Lines[b].PC })
+
+	rep.Regions = buildRegions(prog, rep.Lines, totalPJ)
+	return rep, nil
+}
+
+// entryEnergy prices one retired instruction: its contribution to each
+// macro-model variable, dotted with the fitted coefficients.
+func entryEnergy(model *core.MacroModel, proc *procgen.Processor, te *iss.TraceEntry, icPen, dcPen int) (float64, error) {
+	var v core.Vars
+	in := te.Instr
+
+	// Event variables.
+	if te.ICMiss {
+		v[core.VICacheMiss] = 1
+	}
+	if te.DCMiss {
+		v[core.VDCacheMiss] = 1
+	}
+	if te.Uncached {
+		v[core.VUncachedFetch] = 1
+	}
+	if te.Interlock {
+		v[core.VInterlock] = 1
+	}
+
+	if in.IsCustom() {
+		ci, err := proc.TIE.Instruction(in.CustomID)
+		if err != nil {
+			return 0, err
+		}
+		if ci.AccessesGeneralRegfile() {
+			v[core.VCustomSideEffect] = float64(ci.Latency)
+		}
+		w, err := proc.TIE.CategoryActiveWeights(in.CustomID)
+		if err != nil {
+			return 0, err
+		}
+		for k := range w {
+			v[core.VCustomBase+k] = w[k] * float64(ci.Latency)
+		}
+		return model.EstimatePJ(v), nil
+	}
+
+	// Base instruction: class cycles are the entry's cycles minus its
+	// stalls (cache fill, uncached fetch, interlock).
+	classCycles := int(te.Cycles)
+	if te.ICMiss {
+		classCycles -= icPen
+	}
+	if te.DCMiss {
+		classCycles -= dcPen
+	}
+	if te.Uncached {
+		classCycles -= iss.UncachedFetchPenalty
+	}
+	if te.Interlock {
+		classCycles--
+	}
+	if classCycles < 0 {
+		classCycles = 0
+	}
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassArith:
+		v[core.VArith] = float64(classCycles)
+		// Base-to-custom side effect: bus-tapped components.
+		bw := proc.TIE.BusTapWeights()
+		for k := range bw {
+			v[core.VCustomBase+k] += bw[k]
+		}
+	case isa.ClassLoad:
+		v[core.VLoad] = float64(classCycles)
+	case isa.ClassStore:
+		v[core.VStore] = float64(classCycles)
+	case isa.ClassJump:
+		v[core.VJump] = float64(classCycles)
+	case isa.ClassBranch:
+		if te.Taken {
+			v[core.VBranchTaken] = float64(classCycles)
+		} else {
+			v[core.VBranchUntaken] = float64(classCycles)
+		}
+	}
+	return model.EstimatePJ(v), nil
+}
+
+// buildRegions aggregates lines into [label, next-label) regions.
+func buildRegions(prog *iss.Program, lines []Line, totalPJ float64) []Region {
+	type bound struct {
+		pc    int
+		label string
+	}
+	var bounds []bound
+	for label, pc := range prog.Labels {
+		bounds = append(bounds, bound{pc, label})
+	}
+	sort.Slice(bounds, func(a, b int) bool {
+		if bounds[a].pc != bounds[b].pc {
+			return bounds[a].pc < bounds[b].pc
+		}
+		return bounds[a].label < bounds[b].label
+	})
+	// Collapse labels at the same PC into one region name.
+	var regions []Region
+	if len(bounds) == 0 || bounds[0].pc > 0 {
+		regions = append(regions, Region{Label: "(entry)", StartPC: 0})
+	}
+	for i := 0; i < len(bounds); i++ {
+		if len(regions) > 0 && regions[len(regions)-1].StartPC == bounds[i].pc {
+			regions[len(regions)-1].Label += "/" + bounds[i].label
+			continue
+		}
+		regions = append(regions, Region{Label: bounds[i].label, StartPC: bounds[i].pc})
+	}
+	for i := range regions {
+		if i+1 < len(regions) {
+			regions[i].EndPC = regions[i+1].StartPC
+		} else {
+			regions[i].EndPC = len(prog.Code)
+		}
+	}
+
+	for _, ln := range lines {
+		for i := range regions {
+			if ln.PC >= regions[i].StartPC && ln.PC < regions[i].EndPC {
+				regions[i].Cycles += ln.Cycles
+				regions[i].EnergyPJ += ln.EnergyPJ
+				break
+			}
+		}
+	}
+	var out []Region
+	for _, r := range regions {
+		if r.Cycles == 0 {
+			continue
+		}
+		if totalPJ > 0 {
+			r.Percent = 100 * r.EnergyPJ / totalPJ
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].EnergyPJ > out[b].EnergyPJ })
+	return out
+}
+
+// FormatRegions renders the region-level profile.
+func (r *Report) FormatRegions() string {
+	var b strings.Builder
+	b.WriteString("energy by code region (macro-model attribution)\n")
+	fmt.Fprintf(&b, "%-28s %10s %12s %8s\n", "region", "cycles", "energy (nJ)", "share")
+	for _, reg := range r.Regions {
+		bar := strings.Repeat("#", int(reg.Percent/2+0.5))
+		fmt.Fprintf(&b, "%-28s %10d %12.2f %7.1f%% %s\n",
+			reg.Label, reg.Cycles, reg.EnergyPJ*1e-3, reg.Percent, bar)
+	}
+	fmt.Fprintf(&b, "total %.3f uJ over %d cycles\n", r.TotalPJ*1e-6, r.Cycles)
+	return b.String()
+}
+
+// FormatHotLines renders the top-n instructions by energy.
+func (r *Report) FormatHotLines(n int) string {
+	lines := make([]Line, len(r.Lines))
+	copy(lines, r.Lines)
+	sort.Slice(lines, func(a, b int) bool { return lines[a].EnergyPJ > lines[b].EnergyPJ })
+	if n > len(lines) {
+		n = len(lines)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "hottest %d instructions\n", n)
+	fmt.Fprintf(&b, "%6s  %-28s %10s %10s %12s\n", "pc", "instruction", "count", "cycles", "energy (nJ)")
+	for _, ln := range lines[:n] {
+		fmt.Fprintf(&b, "%6d  %-28s %10d %10d %12.2f\n",
+			ln.PC, ln.Instr.String(), ln.Count, ln.Cycles, ln.EnergyPJ*1e-3)
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package profiler_test
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/profiler"
+	"xtenergy/internal/regress"
+	"xtenergy/internal/rtlpower"
+	"xtenergy/internal/workloads"
+)
+
+var (
+	modelOnce sync.Once
+	model     *core.MacroModel
+	modelErr  error
+)
+
+func sharedModel(t *testing.T) *core.MacroModel {
+	t.Helper()
+	modelOnce.Do(func() {
+		cr, err := core.Characterize(procgen.Default(), rtlpower.FastTechnology(),
+			workloads.CharacterizationSuite(), regress.Options{})
+		if err != nil {
+			modelErr = err
+			return
+		}
+		model = cr.Model
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return model
+}
+
+func profileWorkload(t *testing.T, name string) (*profiler.Report, core.Estimate) {
+	t.Helper()
+	m := sharedModel(t)
+	w, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("workload %s missing", name)
+	}
+	proc, prog, err := w.Build(procgen.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := iss.New(proc).Run(prog, iss.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := profiler.Profile(m, proc, prog, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.EstimateWorkload(procgen.Default(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, est
+}
+
+// The profiler's attribution must be exact: line energies sum to the
+// macro-model's whole-program estimate, for base-only and
+// custom-instruction workloads alike.
+func TestAttributionSumsToEstimate(t *testing.T) {
+	for _, name := range []string{"rs_base", "des", "accumulate", "rs_gffold"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rep, est := profileWorkload(t, name)
+			if math.Abs(rep.TotalPJ-est.EnergyPJ) > 1e-6*est.EnergyPJ {
+				t.Fatalf("profile total %.3f pJ != estimate %.3f pJ", rep.TotalPJ, est.EnergyPJ)
+			}
+			if rep.Cycles != est.Cycles {
+				t.Fatalf("profile cycles %d != estimate %d", rep.Cycles, est.Cycles)
+			}
+			var sum float64
+			for _, ln := range rep.Lines {
+				sum += ln.EnergyPJ
+			}
+			if math.Abs(sum-rep.TotalPJ) > 1e-9*rep.TotalPJ {
+				t.Fatal("line energies do not sum to total")
+			}
+		})
+	}
+}
+
+func TestRegionsCoverAndRank(t *testing.T) {
+	rep, _ := profileWorkload(t, "gcd")
+	if len(rep.Regions) < 3 {
+		t.Fatalf("only %d regions", len(rep.Regions))
+	}
+	var pct, pj float64
+	for i, r := range rep.Regions {
+		pct += r.Percent
+		pj += r.EnergyPJ
+		if i > 0 && r.EnergyPJ > rep.Regions[i-1].EnergyPJ {
+			t.Fatal("regions not sorted by energy")
+		}
+		if r.StartPC >= r.EndPC {
+			t.Fatalf("malformed region %+v", r)
+		}
+	}
+	if math.Abs(pct-100) > 0.01 {
+		t.Fatalf("region shares sum to %.2f%%", pct)
+	}
+	if math.Abs(pj-rep.TotalPJ) > 1e-9*rep.TotalPJ {
+		t.Fatal("region energies do not sum to total")
+	}
+	// The GCD inner loop must dominate.
+	top := rep.Regions[0].Label
+	if !strings.Contains(top, "g_") && !strings.Contains(top, "start") {
+		t.Fatalf("unexpected hottest region %q", top)
+	}
+}
+
+func TestHotLines(t *testing.T) {
+	rep, _ := profileWorkload(t, "bubsort")
+	text := rep.FormatHotLines(5)
+	if !strings.Contains(text, "hottest 5 instructions") {
+		t.Fatalf("hot lines malformed:\n%s", text)
+	}
+	// The inner-loop loads should be among the hottest.
+	if !strings.Contains(text, "l32i") {
+		t.Fatalf("expected inner-loop loads among hot lines:\n%s", text)
+	}
+	if !strings.Contains(rep.FormatRegions(), "energy by code region") {
+		t.Fatal("region format malformed")
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	m := sharedModel(t)
+	proc, _ := procgen.Generate(procgen.Default(), nil)
+	if _, err := profiler.Profile(nil, proc, &iss.Program{}, []iss.TraceEntry{{}}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := profiler.Profile(m, proc, &iss.Program{}, nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

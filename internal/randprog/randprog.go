@@ -1,0 +1,185 @@
+// Package randprog generates random, guaranteed-halting XT32 programs
+// for property-based testing of the instruction-set simulator, the
+// assembler/disassembler round trip, and the analysis passes.
+//
+// Generated programs use only constructs that terminate by
+// construction: straight-line arithmetic, loads and stores confined to
+// a scratch region, short always-forward branch skips, and counted
+// loops that decrement a dedicated register. No indirect jumps or
+// calls are emitted.
+package randprog
+
+import (
+	"math/rand"
+
+	"xtenergy/internal/isa"
+	"xtenergy/internal/iss"
+)
+
+// scratchBase is the data region used by generated loads/stores.
+const scratchBase = 0x1000
+
+// scratchWords is the size of the scratch region in words.
+const scratchWords = 512
+
+// Options tunes generation.
+type Options struct {
+	// Blocks is the number of code blocks to generate (each a handful
+	// of instructions); the default is 40.
+	Blocks int
+	// AllowLoops enables counted loops (default behaviour when using
+	// Generate; disable for purely straight-line programs).
+	AllowLoops bool
+	// MaxLoopCount bounds each counted loop's trip count (default 6).
+	MaxLoopCount int
+}
+
+// Generate returns a random halting program drawn from seed.
+func Generate(seed int64, opts Options) *iss.Program {
+	if opts.Blocks <= 0 {
+		opts.Blocks = 40
+	}
+	if opts.MaxLoopCount <= 0 {
+		opts.MaxLoopCount = 6
+	}
+	r := rand.New(rand.NewSource(seed))
+	g := &gen{r: r, opts: opts}
+	g.prologue()
+	for b := 0; b < opts.Blocks; b++ {
+		switch {
+		case opts.AllowLoops && r.Intn(4) == 0:
+			g.loop()
+		case r.Intn(3) == 0:
+			g.branchSkip()
+		default:
+			g.block(2 + r.Intn(5))
+		}
+	}
+	g.emit(isa.Instr{Op: isa.OpRET})
+	return &iss.Program{
+		Name: "randprog",
+		Code: g.code,
+		Data: []iss.Segment{{Addr: scratchBase, Bytes: g.data(seed)}},
+	}
+}
+
+type gen struct {
+	r    *rand.Rand
+	opts Options
+	code []isa.Instr
+}
+
+func (g *gen) emit(in isa.Instr) { g.code = append(g.code, in) }
+
+// Register conventions: a2 = scratch base (never overwritten),
+// a3 = loop counter, a8..a23 = general scratch.
+const (
+	regBase    = 2
+	regCounter = 3
+	scratchLo  = 8
+	scratchHi  = 24
+)
+
+func (g *gen) reg() uint8 {
+	return uint8(scratchLo + g.r.Intn(scratchHi-scratchLo))
+}
+
+func (g *gen) prologue() {
+	g.emit(isa.Instr{Op: isa.OpMOVI, Rd: regBase, Imm: scratchBase})
+	for r := scratchLo; r < scratchHi; r++ {
+		g.emit(isa.Instr{Op: isa.OpMOVI, Rd: uint8(r), Imm: int32(g.r.Intn(100000) - 50000)})
+	}
+}
+
+// block emits n random safe instructions.
+func (g *gen) block(n int) {
+	for i := 0; i < n; i++ {
+		switch g.r.Intn(10) {
+		case 0: // load
+			op := []isa.Opcode{isa.OpL32I, isa.OpL16UI, isa.OpL16SI, isa.OpL8UI, isa.OpL8SI}[g.r.Intn(5)]
+			g.emit(isa.Instr{Op: op, Rd: g.reg(), Rs: regBase, Imm: g.wordOffset(op)})
+		case 1: // store
+			op := []isa.Opcode{isa.OpS32I, isa.OpS16I, isa.OpS8I}[g.r.Intn(3)]
+			g.emit(isa.Instr{Op: op, Rd: g.reg(), Rs: regBase, Imm: g.wordOffset(op)})
+		case 2: // multiply (multi-cycle)
+			op := []isa.Opcode{isa.OpMUL, isa.OpMULH, isa.OpMULHU}[g.r.Intn(3)]
+			g.emit(isa.Instr{Op: op, Rd: g.reg(), Rs: g.reg(), Rt: g.reg()})
+		case 3: // shift immediate
+			op := []isa.Opcode{isa.OpSLLI, isa.OpSRLI, isa.OpSRAI}[g.r.Intn(3)]
+			g.emit(isa.Instr{Op: op, Rd: g.reg(), Rs: g.reg(), Imm: int32(g.r.Intn(31))})
+		case 4: // unary
+			op := []isa.Opcode{isa.OpNEG, isa.OpNOT, isa.OpABS, isa.OpSEXT8, isa.OpSEXT16, isa.OpNSA, isa.OpNSAU, isa.OpMOV}[g.r.Intn(8)]
+			g.emit(isa.Instr{Op: op, Rd: g.reg(), Rs: g.reg()})
+		case 5: // immediate arithmetic
+			op := []isa.Opcode{isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpSLTI}[g.r.Intn(5)]
+			g.emit(isa.Instr{Op: op, Rd: g.reg(), Rs: g.reg(), Imm: int32(g.r.Intn(4000) - 2000)})
+		case 6: // conditional move
+			op := []isa.Opcode{isa.OpMOVEQZ, isa.OpMOVNEZ, isa.OpMOVLTZ, isa.OpMOVGEZ}[g.r.Intn(4)]
+			g.emit(isa.Instr{Op: op, Rd: g.reg(), Rs: g.reg(), Rt: g.reg()})
+		default: // three-register arithmetic
+			op := []isa.Opcode{isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpOR, isa.OpXOR,
+				isa.OpSLT, isa.OpSLTU, isa.OpMIN, isa.OpMAX, isa.OpMINU, isa.OpMAXU,
+				isa.OpSLL, isa.OpSRL, isa.OpSRA}[g.r.Intn(14)]
+			g.emit(isa.Instr{Op: op, Rd: g.reg(), Rs: g.reg(), Rt: g.reg()})
+		}
+	}
+}
+
+// wordOffset returns an aligned in-bounds scratch offset for op.
+func (g *gen) wordOffset(op isa.Opcode) int32 {
+	switch op {
+	case isa.OpL8UI, isa.OpL8SI, isa.OpS8I:
+		return int32(g.r.Intn(scratchWords * 4))
+	case isa.OpL16UI, isa.OpL16SI, isa.OpS16I:
+		return int32(g.r.Intn(scratchWords*2) * 2)
+	default:
+		return int32(g.r.Intn(scratchWords) * 4)
+	}
+}
+
+// branchSkip emits a conditional branch over a short block; whichever
+// way it resolves, execution proceeds forward.
+func (g *gen) branchSkip() {
+	ops := []isa.Opcode{isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU,
+		isa.OpBANY, isa.OpBNONE, isa.OpBALL, isa.OpBNALL,
+		isa.OpBEQZ, isa.OpBNEZ, isa.OpBLTZ, isa.OpBGEZ, isa.OpBBCI, isa.OpBBSI,
+		isa.OpBEQI, isa.OpBNEI, isa.OpBLTI, isa.OpBGEI, isa.OpBLTUI, isa.OpBGEUI}
+	op := ops[g.r.Intn(len(ops))]
+	d, _ := isa.Lookup(op)
+	skip := 1 + g.r.Intn(3)
+	in := isa.Instr{Op: op, Rs: g.reg(), Imm: int32(skip)}
+	switch d.Format {
+	case isa.FormatBranchRR:
+		in.Rt = g.reg()
+	case isa.FormatBranchRI:
+		if op == isa.OpBBCI || op == isa.OpBBSI {
+			in.Rt = uint8(g.r.Intn(32))
+		} else {
+			in.Rt = uint8(g.r.Intn(32)) // constants 0..31 are valid for both signed and unsigned
+		}
+	}
+	g.emit(in)
+	g.block(skip)
+}
+
+// loop emits a counted loop: movi counter; body; addi -1; bnez back.
+func (g *gen) loop() {
+	count := 1 + g.r.Intn(g.opts.MaxLoopCount)
+	g.emit(isa.Instr{Op: isa.OpMOVI, Rd: regCounter, Imm: int32(count)})
+	bodyLen := 2 + g.r.Intn(4)
+	g.block(bodyLen)
+	g.emit(isa.Instr{Op: isa.OpADDI, Rd: regCounter, Rs: regCounter, Imm: -1})
+	// bnez back over the body and the addi: offset = -(bodyLen+2).
+	g.emit(isa.Instr{Op: isa.OpBNEZ, Rs: regCounter, Imm: int32(-(bodyLen + 2))})
+}
+
+// data builds the deterministic initial scratch contents.
+func (g *gen) data(seed int64) []byte {
+	out := make([]byte, scratchWords*4)
+	state := uint32(seed)*2654435761 + 12345
+	for i := range out {
+		state = state*1664525 + 1013904223
+		out[i] = byte(state >> 24)
+	}
+	return out
+}

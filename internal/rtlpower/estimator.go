@@ -1,0 +1,319 @@
+package rtlpower
+
+import (
+	"fmt"
+	"math/bits"
+
+	"xtenergy/internal/isa"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+)
+
+// Report is the outcome of one reference power estimation.
+type Report struct {
+	// TotalPJ is the program's total energy in picojoules.
+	TotalPJ float64
+	// PerBlockPJ is the energy per structural block, indexed like
+	// Processor.Blocks.
+	PerBlockPJ []float64
+	// Cycles is the number of simulated cycles.
+	Cycles uint64
+}
+
+// TotalUJ returns the total energy in microjoules (the unit of the
+// paper's Table II).
+func (r Report) TotalUJ() float64 { return r.TotalPJ * 1e-6 }
+
+// AveragePowerMW returns the mean power in milliwatts at the given clock.
+func (r Report) AveragePowerMW(clockMHz float64) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	// pJ/cycle * cycles/s = pW; convert to mW.
+	return r.TotalPJ / float64(r.Cycles) * clockMHz * 1e6 * 1e-9
+}
+
+// blockModel is the precomputed simulation state of one structural block.
+type blockModel struct {
+	nets        int
+	activePJNet float64 // energy per toggled net while active
+	idlePJNet   float64 // energy per toggled net while idle
+}
+
+// Per-cycle toggle probabilities of the net population.
+const (
+	pActiveNominal = 0.40
+	pIdle          = 0.08
+)
+
+// Estimator performs structural, cycle-by-cycle energy estimation over a
+// recorded execution trace. It is the slow, accurate reference tool of
+// the characterization flow. An Estimator is not safe for concurrent
+// use.
+type Estimator struct {
+	proc   *procgen.Processor
+	tech   Technology
+	blocks []blockModel
+	rng    uint32
+}
+
+// New builds an estimator for proc under the given technology.
+func New(proc *procgen.Processor, tech Technology) (*Estimator, error) {
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Estimator{proc: proc, tech: tech}
+	for _, b := range proc.Blocks {
+		var bm blockModel
+		if b.Kind == procgen.BlockCustom {
+			unit := tech.CustomUnitPJ[b.Component.Cat]
+			cx := b.Component.Complexity()
+			bm.nets = scaleNets(float64(tech.CustomNetsPerUnit)*cx, tech.Detail)
+			active := unit * cx
+			bm.activePJNet = active / (float64(bm.nets) * pActiveNominal)
+			bm.idlePJNet = active * tech.CustomIdleFrac / (float64(bm.nets) * pIdle)
+		} else {
+			p := tech.Blocks[b.Kind]
+			bm.nets = scaleNets(float64(p.Nets), tech.Detail)
+			bm.activePJNet = p.ActivePJ / (float64(bm.nets) * pActiveNominal)
+			bm.idlePJNet = p.IdlePJ / (float64(bm.nets) * pIdle)
+		}
+		e.blocks = append(e.blocks, bm)
+	}
+	return e, nil
+}
+
+func scaleNets(nets, detail float64) int {
+	n := int(nets * detail)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// Technology returns the estimator's technology parameters.
+func (e *Estimator) Technology() Technology { return e.tech }
+
+// EstimateTrace runs the reference energy simulation over a trace
+// recorded by the ISS (Options.CollectTrace). The same trace can be
+// estimated repeatedly; results are deterministic for a given
+// technology seed.
+func (e *Estimator) EstimateTrace(trace []iss.TraceEntry) (Report, error) {
+	return e.estimateTrace(trace, nil)
+}
+
+// estimateTrace is the shared walk; onEntry (optional) receives each
+// retired instruction's index, cycle count and energy.
+func (e *Estimator) estimateTrace(trace []iss.TraceEntry, onEntry func(idx int, cycles uint64, pj float64)) (Report, error) {
+	if len(trace) == 0 {
+		return Report{}, fmt.Errorf("rtlpower: empty trace (was the ISS run with CollectTrace?)")
+	}
+	e.rng = e.tech.Seed | 1
+
+	perBlock := make([]float64, len(e.blocks))
+	var cycles uint64
+
+	// activity[i] = active cycles of block i for the current instruction.
+	activity := make([]int, len(e.blocks))
+
+	icPen := e.proc.Config.ICache.MissPenalty
+	dcPen := e.proc.Config.DCache.MissPenalty
+
+	var prev iss.TraceEntry
+	havePrev := false
+
+	// Indices of base blocks (the generator may omit the multiplier).
+	idx := map[procgen.BlockKind]int{}
+	for i, b := range e.proc.Blocks {
+		if b.Kind != procgen.BlockCustom {
+			idx[b.Kind] = i
+		}
+	}
+
+	for ti := range trace {
+		te := &trace[ti]
+		cyc := int(te.Cycles)
+		if cyc <= 0 {
+			cyc = 1
+		}
+		cycles += uint64(cyc)
+
+		// Data switching activity on the operand/result buses relative
+		// to the previous instruction: the data-dependent term a linear
+		// macro-model cannot see.
+		s := 0.5
+		if havePrev {
+			h := bits.OnesCount32(te.RsVal^prev.RsVal) +
+				bits.OnesCount32(te.RtVal^prev.RtVal) +
+				bits.OnesCount32(te.Result^prev.Result)
+			s = float64(h) / 96
+		}
+		prev = *te
+		havePrev = true
+
+		for i := range activity {
+			activity[i] = 0
+		}
+
+		in := te.Instr
+		d := in.Def()
+
+		// Always-on blocks.
+		activity[idx[procgen.BlockClock]] = cyc
+		activity[idx[procgen.BlockPipeCtl]] = cyc
+		activity[idx[procgen.BlockFetch]] = cyc
+		activity[idx[procgen.BlockDecode]] = 1
+
+		// Front end.
+		if te.Uncached {
+			activity[idx[procgen.BlockBus]] += iss.UncachedFetchPenalty
+		} else {
+			a := 1
+			if te.ICMiss {
+				a += icPen
+				activity[idx[procgen.BlockBus]] += icPen
+			}
+			activity[idx[procgen.BlockICache]] = a
+		}
+
+		// Register file.
+		regfileActive := d.ReadsRs || d.ReadsRt || d.WritesRd
+		if in.IsCustom() {
+			if ci, err := e.proc.TIE.Instruction(in.CustomID); err == nil {
+				regfileActive = ci.AccessesGeneralRegfile()
+			}
+		}
+		if regfileActive {
+			activity[idx[procgen.BlockRegfile]] = 1
+		}
+
+		// Execution units and memory pipeline.
+		switch {
+		case in.IsCustom():
+			ci, err := e.proc.TIE.Instruction(in.CustomID)
+			if err != nil {
+				return Report{}, err
+			}
+			for _, ci2 := range e.proc.TIE.ActiveByInstr[in.CustomID] {
+				activity[e.proc.CustomBlockBase+ci2] += ci.Latency
+			}
+		case isMult(in.Op):
+			if mi, ok := idx[procgen.BlockMult]; ok {
+				activity[mi] = d.Cycles
+			} else {
+				activity[idx[procgen.BlockALU]] = d.Cycles
+			}
+		case isShift(in.Op):
+			activity[idx[procgen.BlockShifter]] = 1
+		case d.Class == isa.ClassArith:
+			activity[idx[procgen.BlockALU]] = d.Cycles
+		case d.Class == isa.ClassBranch:
+			activity[idx[procgen.BlockALU]] = 1
+		case d.Class == isa.ClassLoad || d.Class == isa.ClassStore:
+			a := 1
+			if te.DCMiss {
+				a += dcPen
+				activity[idx[procgen.BlockBus]] += dcPen
+			}
+			activity[idx[procgen.BlockLSU]] = a
+			activity[idx[procgen.BlockDCache]] = a
+		}
+
+		// Base-to-custom side effect: custom hardware latched off the
+		// shared operand buses switches when base arithmetic drives them
+		// (paper Fig. 1 Example 1).
+		if !in.IsCustom() && d.Class == isa.ClassArith {
+			for _, ci2 := range e.proc.TIE.BusTapped {
+				activity[e.proc.CustomBlockBase+ci2]++
+			}
+		}
+
+		// Simulate every block for every cycle of this instruction.
+		pAct := pActiveNominal * (1 + e.tech.SwitchingWeight*(2*s-1))
+		var entryPJ float64
+		for bi := range e.blocks {
+			bm := &e.blocks[bi]
+			act := activity[bi]
+			if act > cyc {
+				act = cyc
+			}
+			if act > 0 {
+				pj := e.simulateNets(bm.nets, act, pAct) * bm.activePJNet
+				perBlock[bi] += pj
+				entryPJ += pj
+			}
+			if idle := cyc - act; idle > 0 {
+				pj := e.simulateNets(bm.nets, idle, pIdle) * bm.idlePJNet
+				perBlock[bi] += pj
+				entryPJ += pj
+			}
+		}
+		if onEntry != nil {
+			onEntry(ti, uint64(cyc), entryPJ)
+		}
+	}
+
+	var total float64
+	for _, v := range perBlock {
+		total += v
+	}
+	return Report{TotalPJ: total, PerBlockPJ: perBlock, Cycles: cycles}, nil
+}
+
+// simulateNets advances the toggle process of a net population for the
+// given number of cycles and returns the number of observed toggles.
+// This per-net work is what a gate-level power simulator fundamentally
+// does, and is what makes the reference path slow.
+func (e *Estimator) simulateNets(nets, cycles int, p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	threshold := uint32(p * float64(1<<32-1))
+	toggles := 0
+	st := e.rng
+	for c := 0; c < cycles; c++ {
+		for n := 0; n < nets; n++ {
+			// xorshift32
+			st ^= st << 13
+			st ^= st >> 17
+			st ^= st << 5
+			if st < threshold {
+				toggles++
+			}
+		}
+	}
+	e.rng = st
+	return float64(toggles)
+}
+
+func isMult(op isa.Opcode) bool {
+	return op == isa.OpMUL || op == isa.OpMULH || op == isa.OpMULHU
+}
+
+func isShift(op isa.Opcode) bool {
+	switch op {
+	case isa.OpSLL, isa.OpSLLI, isa.OpSRL, isa.OpSRLI, isa.OpSRA, isa.OpSRAI,
+		isa.OpEXTUI, isa.OpNSA, isa.OpNSAU:
+		return true
+	}
+	return false
+}
+
+// EstimateProgram is a convenience that runs the ISS with trace
+// collection and then the reference estimation — the full "slow path"
+// (RTL simulation of the synthesized processor) for one program.
+func (e *Estimator) EstimateProgram(prog *iss.Program) (Report, *iss.Result, error) {
+	sim := iss.New(e.proc)
+	res, err := sim.Run(prog, iss.Options{CollectTrace: true})
+	if err != nil {
+		return Report{}, nil, err
+	}
+	rep, err := e.EstimateTrace(res.Trace)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	return rep, res, nil
+}

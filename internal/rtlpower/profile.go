@@ -1,0 +1,81 @@
+package rtlpower
+
+import (
+	"fmt"
+	"strings"
+
+	"xtenergy/internal/iss"
+)
+
+// ProfilePoint is one window of a power-versus-time profile.
+type ProfilePoint struct {
+	// StartCycle is the first cycle of the window.
+	StartCycle uint64
+	// Cycles is the window length (the last window may be short).
+	Cycles uint64
+	// EnergyPJ is the energy consumed in the window.
+	EnergyPJ float64
+}
+
+// PowerMW returns the window's average power at the given clock.
+func (p ProfilePoint) PowerMW(clockMHz float64) float64 {
+	if p.Cycles == 0 {
+		return 0
+	}
+	return p.EnergyPJ / float64(p.Cycles) * clockMHz * 1e6 * 1e-9
+}
+
+// Profile runs the reference energy simulation windowed over time,
+// returning one point per window of the given cycle length — the power
+// waveform view an RTL power tool produces. The sum of the window
+// energies equals the total of EstimateTrace on the same trace.
+func (e *Estimator) Profile(trace []iss.TraceEntry, windowCycles uint64) ([]ProfilePoint, error) {
+	if windowCycles == 0 {
+		return nil, fmt.Errorf("rtlpower: zero window length")
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("rtlpower: empty trace")
+	}
+	var out []ProfilePoint
+	cur := ProfilePoint{}
+	// One shared estimation pass: windows are cut at instruction
+	// granularity (an instruction's cycles and energy land in the window
+	// containing its first cycle), and the window energies sum exactly
+	// to EstimateTrace's total.
+	_, err := e.estimateTrace(trace, func(_ int, cycles uint64, pj float64) {
+		cur.Cycles += cycles
+		cur.EnergyPJ += pj
+		if cur.Cycles >= windowCycles {
+			out = append(out, cur)
+			cur = ProfilePoint{StartCycle: cur.StartCycle + cur.Cycles}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cur.Cycles > 0 {
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// FormatProfile renders a power waveform as a text chart.
+func FormatProfile(points []ProfilePoint, clockMHz float64) string {
+	var b strings.Builder
+	b.WriteString("power profile\n")
+	var peak float64
+	for _, p := range points {
+		if mw := p.PowerMW(clockMHz); mw > peak {
+			peak = mw
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	for _, p := range points {
+		mw := p.PowerMW(clockMHz)
+		bar := strings.Repeat("#", int(mw/peak*50+0.5))
+		fmt.Fprintf(&b, "%8d %8.1f mW %s\n", p.StartCycle, mw, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package tie
+
+import (
+	"testing"
+
+	"xtenergy/internal/hwlib"
+)
+
+func noop(_ *State, _ Operands) uint32 { return 0 }
+
+func simpleInstr(name string) *Instruction {
+	return &Instruction{
+		Name: name, Latency: 1, ReadsGeneral: true, WritesGeneral: true,
+		Datapath: []DatapathElem{
+			{Component: hwlib.Component{Name: name + "_u", Cat: hwlib.AddSubCmp, Width: 32}},
+		},
+		Semantics: noop,
+	}
+}
+
+func TestStateLifecycle(t *testing.T) {
+	s := NewState(4)
+	if len(s.Regs) != 4 {
+		t.Fatalf("state has %d regs", len(s.Regs))
+	}
+	s.Regs[2] = 99
+	c := s.Clone()
+	c.Regs[2] = 1
+	if s.Regs[2] != 99 {
+		t.Fatal("Clone shares storage")
+	}
+	s.Reset()
+	if s.Regs[2] != 0 {
+		t.Fatal("Reset did not zero registers")
+	}
+}
+
+func TestInstructionValidate(t *testing.T) {
+	if err := simpleInstr("ok").Validate(); err != nil {
+		t.Fatalf("valid instruction rejected: %v", err)
+	}
+	bad := []*Instruction{
+		{Name: "", Latency: 1, Semantics: noop, Datapath: simpleInstr("x").Datapath},
+		{Name: "x", Latency: 0, Semantics: noop, Datapath: simpleInstr("x").Datapath},
+		{Name: "x", Latency: 100, Semantics: noop, Datapath: simpleInstr("x").Datapath},
+		{Name: "x", Latency: 1, Semantics: nil, Datapath: simpleInstr("x").Datapath},
+		{Name: "x", Latency: 1, Semantics: noop}, // empty datapath
+		{Name: "x", Latency: 1, Semantics: noop, Datapath: []DatapathElem{
+			{Component: hwlib.Component{Name: "d", Cat: hwlib.AddSubCmp, Width: 32}},
+			{Component: hwlib.Component{Name: "d", Cat: hwlib.Shifter, Width: 16}},
+		}}, // duplicate component name within the instruction
+		{Name: "x", Latency: 1, Semantics: noop, Datapath: []DatapathElem{
+			{Component: hwlib.Component{Name: "bad", Cat: hwlib.Table, Width: 8}},
+		}}, // invalid component (table without entries)
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad instruction %d accepted", i)
+		}
+	}
+}
+
+func TestExtensionValidate(t *testing.T) {
+	good := &Extension{Name: "e", Instructions: []*Instruction{simpleInstr("a"), simpleInstr("b")}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid extension rejected: %v", err)
+	}
+	bad := []*Extension{
+		{Name: "", Instructions: []*Instruction{simpleInstr("a")}},
+		{Name: "e"}, // no instructions
+		{Name: "e", NumCustomRegs: -1, Instructions: []*Instruction{simpleInstr("a")}},
+		{Name: "e", NumCustomRegs: 1000, Instructions: []*Instruction{simpleInstr("a")}},
+		{Name: "e", Instructions: []*Instruction{simpleInstr("a"), simpleInstr("a")}}, // dup names
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad extension %d accepted", i)
+		}
+	}
+}
+
+func TestTableValue(t *testing.T) {
+	e := &Extension{Name: "e", Tables: map[string][]uint32{"t": {10, 20, 30}}}
+	if e.TableValue("t", 1) != 20 {
+		t.Fatal("table lookup wrong")
+	}
+	if e.TableValue("t", 4) != 20 { // wraps
+		t.Fatal("table lookup does not wrap")
+	}
+	if e.TableValue("missing", 0) != 0 {
+		t.Fatal("missing table not zero")
+	}
+}
+
+func TestAccessesGeneralRegfile(t *testing.T) {
+	in := simpleInstr("x")
+	if !in.AccessesGeneralRegfile() {
+		t.Fatal("reads+writes instruction does not access regfile")
+	}
+	in.ReadsGeneral = false
+	if !in.AccessesGeneralRegfile() {
+		t.Fatal("writes-only instruction does not access regfile")
+	}
+	in.WritesGeneral = false
+	if in.AccessesGeneralRegfile() {
+		t.Fatal("stateless instruction accesses regfile")
+	}
+}

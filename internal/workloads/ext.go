@@ -1,0 +1,353 @@
+// Package workloads provides the program suite of the reproduction: the
+// characterization test programs (25, as in the paper's Fig. 3), the ten
+// application benchmarks of Table II, and the Reed-Solomon kernel with
+// four custom-instruction choices of Fig. 4 — all written in XT32
+// assembly with TIE extensions built from the custom hardware library.
+package workloads
+
+import (
+	"math/bits"
+
+	"xtenergy/internal/hwlib"
+	"xtenergy/internal/tie"
+)
+
+// gfPoly is the GF(2^8) reduction polynomial used by the Reed-Solomon
+// workloads (x^8+x^4+x^3+x^2+1).
+const gfPoly = 0x1D
+
+// gfMulByte multiplies two GF(2^8) elements.
+func gfMulByte(a, b uint32) uint32 {
+	a &= 0xFF
+	b &= 0xFF
+	var p uint32
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a = (a << 1) & 0xFF
+		if hi != 0 {
+			a ^= gfPoly
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func dp(c hwlib.Component, onBus bool) tie.DatapathElem {
+	return tie.DatapathElem{Component: c, OnBus: onBus}
+}
+
+// MinMaxExtension returns the sorting extension: pmin/pmax single-cycle
+// compare-select instructions (comparator + mux latched off the operand
+// buses).
+func MinMaxExtension() *tie.Extension {
+	return &tie.Extension{
+		Name: "minmax",
+		Instructions: []*tie.Instruction{
+			{
+				Name: "pmin", Latency: 1, ReadsGeneral: true, WritesGeneral: true,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "mm_cmp", Cat: hwlib.AddSubCmp, Width: 32}, true),
+					dp(hwlib.Component{Name: "mm_mux", Cat: hwlib.LogicRedMux, Width: 32}, false),
+				},
+				Semantics: func(_ *tie.State, op tie.Operands) uint32 {
+					if int32(op.RsVal) < int32(op.RtVal) {
+						return op.RsVal
+					}
+					return op.RtVal
+				},
+			},
+			{
+				Name: "pmax", Latency: 1, ReadsGeneral: true, WritesGeneral: true,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "mm_cmp", Cat: hwlib.AddSubCmp, Width: 32}, true),
+					dp(hwlib.Component{Name: "mm_mux", Cat: hwlib.LogicRedMux, Width: 32}, false),
+				},
+				Semantics: func(_ *tie.State, op tie.Operands) uint32 {
+					if int32(op.RsVal) > int32(op.RtVal) {
+						return op.RsVal
+					}
+					return op.RtVal
+				},
+			},
+			{
+				Name: "sgt", Latency: 1, ReadsGeneral: true, WritesGeneral: true,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "mm_cmp", Cat: hwlib.AddSubCmp, Width: 32}, true),
+				},
+				Semantics: func(_ *tie.State, op tie.Operands) uint32 {
+					if int32(op.RsVal) > int32(op.RtVal) {
+						return 1
+					}
+					return 0
+				},
+			},
+		},
+	}
+}
+
+// NormExtension returns the GCD helper extension: norm computes
+// rs >> trailing_zeros(rs) in one cycle (priority logic + barrel
+// shifter), and absd computes |rs - rt|.
+func NormExtension() *tie.Extension {
+	return &tie.Extension{
+		Name: "norm",
+		Instructions: []*tie.Instruction{
+			{
+				Name: "norm", Latency: 1, ReadsGeneral: true, WritesGeneral: true,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "nm_pri", Cat: hwlib.LogicRedMux, Width: 32}, true),
+					dp(hwlib.Component{Name: "nm_shift", Cat: hwlib.Shifter, Width: 32}, false),
+				},
+				Semantics: func(_ *tie.State, op tie.Operands) uint32 {
+					v := op.RsVal
+					if v == 0 {
+						return 0
+					}
+					return v >> uint(bits.TrailingZeros32(v))
+				},
+			},
+			{
+				Name: "absd", Latency: 1, ReadsGeneral: true, WritesGeneral: true,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "nm_sub", Cat: hwlib.AddSubCmp, Width: 32}, true),
+					dp(hwlib.Component{Name: "nm_neg", Cat: hwlib.LogicRedMux, Width: 32}, false),
+				},
+				Semantics: func(_ *tie.State, op tie.Operands) uint32 {
+					d := int32(op.RsVal) - int32(op.RtVal)
+					if d < 0 {
+						d = -d
+					}
+					return uint32(d)
+				},
+			},
+		},
+	}
+}
+
+// BlendExtension returns the alpha-blending extension: setalpha loads
+// the blend factor into a custom register; blend8 blends four packed
+// 8-bit channels in one cycle.
+func BlendExtension() *tie.Extension {
+	return &tie.Extension{
+		Name:          "blend",
+		NumCustomRegs: 1,
+		Instructions: []*tie.Instruction{
+			{
+				Name: "setalpha", Latency: 1, ReadsGeneral: true,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "bl_areg", Cat: hwlib.CustomRegister, Width: 8}, true),
+				},
+				Semantics: func(s *tie.State, op tie.Operands) uint32 {
+					s.Regs[0] = op.RsVal & 0xFF
+					return 0
+				},
+			},
+			{
+				Name: "blend8", Latency: 1, ReadsGeneral: true, WritesGeneral: true,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "bl_mul", Cat: hwlib.Multiplier, Width: 16}, true),
+					dp(hwlib.Component{Name: "bl_add", Cat: hwlib.AddSubCmp, Width: 16}, false),
+					dp(hwlib.Component{Name: "bl_pack", Cat: hwlib.LogicRedMux, Width: 32}, false),
+					dp(hwlib.Component{Name: "bl_areg", Cat: hwlib.CustomRegister, Width: 8}, false),
+				},
+				Semantics: func(s *tie.State, op tie.Operands) uint32 {
+					alpha := s.Regs[0] & 0xFF
+					var out uint32
+					for i := 0; i < 4; i++ {
+						sh := uint(8 * i)
+						a := (op.RsVal >> sh) & 0xFF
+						b := (op.RtVal >> sh) & 0xFF
+						c := (a*alpha + b*(255-alpha)) >> 8
+						out |= (c & 0xFF) << sh
+					}
+					return out
+				},
+			},
+		},
+	}
+}
+
+// Add4Extension returns the packed-add extension: add4 performs four
+// saturating 8-bit additions per cycle on a specialized TIE adder.
+func Add4Extension() *tie.Extension {
+	return &tie.Extension{
+		Name: "add4",
+		Instructions: []*tie.Instruction{
+			{
+				Name: "add4", Latency: 1, ReadsGeneral: true, WritesGeneral: true,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "a4_add", Cat: hwlib.TIEAdd, Width: 32}, true),
+					dp(hwlib.Component{Name: "a4_sat", Cat: hwlib.LogicRedMux, Width: 32}, false),
+				},
+				Semantics: func(_ *tie.State, op tie.Operands) uint32 {
+					var out uint32
+					for i := 0; i < 4; i++ {
+						sh := uint(8 * i)
+						s := ((op.RsVal >> sh) & 0xFF) + ((op.RtVal >> sh) & 0xFF)
+						if s > 255 {
+							s = 255
+						}
+						out |= s << sh
+					}
+					return out
+				},
+			},
+		},
+	}
+}
+
+// desSBoxTable builds a deterministic 64-entry substitution table for
+// the DES-like workload.
+func desSBoxTable() []uint32 {
+	t := make([]uint32, 64)
+	st := uint32(0x9E3779B9)
+	for i := range t {
+		st ^= st << 13
+		st ^= st >> 17
+		st ^= st << 5
+		t[i] = st
+	}
+	return t
+}
+
+// DESExtension returns the block-cipher extension: dsbox performs the
+// round substitution through a hardware lookup table, dperm the round
+// permutation/rotation.
+func DESExtension() *tie.Extension {
+	ext := &tie.Extension{
+		Name:   "des",
+		Tables: map[string][]uint32{"sbox": desSBoxTable()},
+	}
+	ext.Instructions = []*tie.Instruction{
+		{
+			Name: "dsbox", Latency: 1, ReadsGeneral: true, WritesGeneral: true,
+			Datapath: []tie.DatapathElem{
+				dp(hwlib.Component{Name: "des_sbox", Cat: hwlib.Table, Width: 32, Entries: 64}, true),
+				dp(hwlib.Component{Name: "des_sel", Cat: hwlib.LogicRedMux, Width: 32}, false),
+			},
+			Semantics: func(_ *tie.State, op tie.Operands) uint32 {
+				// Substitute each of four 6-bit groups through the table.
+				var out uint32
+				for i := 0; i < 4; i++ {
+					g := (op.RsVal >> uint(6*i)) & 0x3F
+					out ^= ext.TableValue("sbox", g) >> uint(8*i)
+				}
+				return out ^ op.RtVal
+			},
+		},
+		{
+			Name: "dperm", Latency: 1, ReadsGeneral: true, WritesGeneral: true,
+			Datapath: []tie.DatapathElem{
+				dp(hwlib.Component{Name: "des_perm", Cat: hwlib.Shifter, Width: 32}, true),
+				dp(hwlib.Component{Name: "des_mix", Cat: hwlib.LogicRedMux, Width: 32}, false),
+			},
+			Semantics: func(_ *tie.State, op tie.Operands) uint32 {
+				r := op.RtVal & 31
+				return bits.RotateLeft32(op.RsVal, int(r)) ^ (op.RsVal >> 16)
+			},
+		},
+	}
+	return ext
+}
+
+// MACExtension returns the accumulate extension: clracc clears the
+// 64-bit accumulator, acc adds one operand, mac16 multiply-accumulates
+// 16x16 products, and rdacc reads the accumulator back.
+func MACExtension() *tie.Extension {
+	return &tie.Extension{
+		Name:          "mac",
+		NumCustomRegs: 2, // 64-bit accumulator as two 32-bit registers
+		Instructions: []*tie.Instruction{
+			{
+				Name: "clracc", Latency: 1, ReadsGeneral: false, WritesGeneral: false,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "mac_acc", Cat: hwlib.CustomRegister, Width: 64}, false),
+				},
+				Semantics: func(s *tie.State, _ tie.Operands) uint32 {
+					s.Regs[0], s.Regs[1] = 0, 0
+					return 0
+				},
+			},
+			{
+				Name: "acc", Latency: 1, ReadsGeneral: true,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "mac_add", Cat: hwlib.TIEAdd, Width: 32}, true),
+					dp(hwlib.Component{Name: "mac_acc", Cat: hwlib.CustomRegister, Width: 64}, false),
+				},
+				Semantics: func(s *tie.State, op tie.Operands) uint32 {
+					lo := uint64(s.Regs[0]) | uint64(s.Regs[1])<<32
+					lo += uint64(op.RsVal)
+					s.Regs[0], s.Regs[1] = uint32(lo), uint32(lo>>32)
+					return 0
+				},
+			},
+			{
+				Name: "mac16", Latency: 1, ReadsGeneral: true,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "mac_mul", Cat: hwlib.TIEMac, Width: 16}, true),
+					dp(hwlib.Component{Name: "mac_csa", Cat: hwlib.TIECsa, Width: 40}, false),
+					dp(hwlib.Component{Name: "mac_acc", Cat: hwlib.CustomRegister, Width: 64}, false),
+				},
+				Semantics: func(s *tie.State, op tie.Operands) uint32 {
+					a := int64(int16(op.RsVal))
+					b := int64(int16(op.RtVal))
+					acc := int64(uint64(s.Regs[0]) | uint64(s.Regs[1])<<32)
+					acc += a * b
+					s.Regs[0], s.Regs[1] = uint32(acc), uint32(uint64(acc)>>32)
+					return 0
+				},
+			},
+			{
+				Name: "rdacc", Latency: 1, WritesGeneral: true,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "mac_acc", Cat: hwlib.CustomRegister, Width: 64}, false),
+					dp(hwlib.Component{Name: "mac_rdmux", Cat: hwlib.LogicRedMux, Width: 32}, false),
+				},
+				Semantics: func(s *tie.State, op tie.Operands) uint32 {
+					if op.Rt != 0 {
+						return s.Regs[1]
+					}
+					return s.Regs[0]
+				},
+			},
+		},
+	}
+}
+
+// SeqMultExtension returns the sequential-multiplier extension: smul is
+// a 4-cycle iterative 32x32 multiplier built from a TIE multiplier slice
+// and a carry-save adder.
+func SeqMultExtension() *tie.Extension {
+	return &tie.Extension{
+		Name:          "seqmult",
+		NumCustomRegs: 1,
+		Instructions: []*tie.Instruction{
+			{
+				Name: "smul", Latency: 4, ReadsGeneral: true, WritesGeneral: true,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "sm_mul", Cat: hwlib.TIEMult, Width: 32}, true),
+					dp(hwlib.Component{Name: "sm_csa", Cat: hwlib.TIECsa, Width: 64}, false),
+					dp(hwlib.Component{Name: "sm_reg", Cat: hwlib.CustomRegister, Width: 32}, false),
+				},
+				Semantics: func(s *tie.State, op tie.Operands) uint32 {
+					p := op.RsVal * op.RtVal
+					s.Regs[0] = uint32((uint64(op.RsVal) * uint64(op.RtVal)) >> 32)
+					return p
+				},
+			},
+			{
+				Name: "smulh", Latency: 1, WritesGeneral: true,
+				Datapath: []tie.DatapathElem{
+					dp(hwlib.Component{Name: "sm_reg", Cat: hwlib.CustomRegister, Width: 32}, false),
+					dp(hwlib.Component{Name: "sm_rdmux", Cat: hwlib.LogicRedMux, Width: 32}, false),
+				},
+				Semantics: func(s *tie.State, _ tie.Operands) uint32 {
+					return s.Regs[0]
+				},
+			},
+		},
+	}
+}

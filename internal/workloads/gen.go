@@ -1,0 +1,116 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lcg is the deterministic generator used for synthetic program data, so
+// every workload is reproducible.
+type lcg struct{ state uint32 }
+
+func newLCG(seed uint32) *lcg { return &lcg{state: seed*2654435761 + 1} }
+
+func (g *lcg) next() uint32 {
+	g.state = g.state*1664525 + 1013904223
+	return g.state
+}
+
+// nextN returns a value in [0, n).
+func (g *lcg) nextN(n uint32) uint32 { return g.next() % n }
+
+// randWords returns n deterministic pseudo-random words.
+func randWords(n int, seed uint32) []uint32 {
+	g := newLCG(seed)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = g.next()
+	}
+	return out
+}
+
+// wordData renders a labeled .word block (eight words per line).
+func wordData(label string, vals []uint32) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", label)
+	for i := 0; i < len(vals); i += 8 {
+		b.WriteString(".word ")
+		for j := i; j < i+8 && j < len(vals); j++ {
+			if j > i {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", int32(vals[j]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// byteData renders a labeled .byte block.
+func byteData(label string, vals []uint32) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", label)
+	for i := 0; i < len(vals); i += 16 {
+		b.WriteString(".byte ")
+		for j := i; j < i+16 && j < len(vals); j++ {
+			if j > i {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", vals[j]&0xFF)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// arithBlock generates n register-to-register instructions over the
+// scratch registers a16..a27 with a controllable opcode mix. mix selects
+// the flavor: "alu", "shift", "mul", or "blend" (all of them).
+func arithBlock(n int, seed uint32, mix string) string {
+	g := newLCG(seed)
+	reg := func() string { return fmt.Sprintf("a%d", 16+g.nextN(12)) }
+	var ops []string
+	switch mix {
+	case "alu":
+		ops = []string{"add", "sub", "and", "or", "xor", "min", "max", "slt", "moveqz"}
+	case "shift":
+		ops = []string{"sll", "srl", "sra", "slli", "srli", "srai"}
+	case "mul":
+		ops = []string{"mul", "mulh", "mulhu", "add"}
+	default:
+		ops = []string{"add", "sub", "and", "or", "xor", "sll", "srl", "mul", "min", "maxu", "abs", "neg"}
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		op := ops[g.nextN(uint32(len(ops)))]
+		switch op {
+		case "slli", "srli", "srai":
+			fmt.Fprintf(&b, "    %s %s, %s, %d\n", op, reg(), reg(), 1+g.nextN(30))
+		case "abs", "neg":
+			fmt.Fprintf(&b, "    %s %s, %s\n", op, reg(), reg())
+		default:
+			fmt.Fprintf(&b, "    %s %s, %s, %s\n", op, reg(), reg(), reg())
+		}
+	}
+	return b.String()
+}
+
+// seedScratch emits code to give the scratch registers a16..a27 varied
+// initial values.
+func seedScratch(seed uint32) string {
+	g := newLCG(seed)
+	var b strings.Builder
+	for r := 16; r < 28; r++ {
+		fmt.Fprintf(&b, "    movi a%d, %d\n", r, int32(g.next()%100000)-50000)
+	}
+	return b.String()
+}
+
+// loopAround wraps a body in a counted loop using a15 as the counter.
+func loopAround(label string, iters int, body string) string {
+	return fmt.Sprintf(`    movi a15, %d
+%s:
+%s    addi a15, a15, -1
+    bnez a15, %s
+`, iters, label, body, label)
+}

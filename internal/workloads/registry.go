@@ -1,0 +1,40 @@
+package workloads
+
+import (
+	"sort"
+
+	"xtenergy/internal/core"
+)
+
+// All returns every built-in workload: the characterization suite, the
+// Table II applications, the extended validation applications, and the
+// Reed-Solomon configurations.
+func All() []core.Workload {
+	var ws []core.Workload
+	ws = append(ws, CharacterizationSuite()...)
+	ws = append(ws, Applications()...)
+	ws = append(ws, ValidationApplications()...)
+	ws = append(ws, ReedSolomonConfigurations()...)
+	return ws
+}
+
+// ByName finds any built-in workload by name.
+func ByName(name string) (core.Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return core.Workload{}, false
+}
+
+// Names returns the sorted names of all built-in workloads.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, w := range all {
+		out[i] = w.Name
+	}
+	sort.Strings(out)
+	return out
+}

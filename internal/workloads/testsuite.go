@@ -1,0 +1,485 @@
+package workloads
+
+import (
+	"fmt"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/hwlib"
+)
+
+// CharacterizationSuite returns the test programs used to build the
+// energy macro-model (the suite behind the paper's Fig. 3). Regression
+// characterization is in situ, so the requirement is diversity: the
+// suite covers the six base instruction classes, the four non-ideal
+// cases, custom-to-base side effects, and all ten custom-hardware
+// library categories — each category at several widths, latencies and
+// densities so that the 21 coefficients are well identified.
+//
+// The paper uses 25 Tensilica benchmark programs; our synthetic programs
+// are individually less diverse, so the suite holds 40 (14 base-only, 10
+// cover, 10 width-rotated hybrids, 5 density variants, 1 mixed) to keep
+// the regression comfortably over-determined. See EXPERIMENTS.md.
+func CharacterizationSuite() []core.Workload {
+	ws := []core.Workload{
+		tpALUMix(), tpALUDep(), tpShift(), tpMul(),
+		tpLoadStream(), tpStoreStream(), tpMemcpy(),
+		tpBranchTaken(), tpBranchUntaken(), tpCalls(),
+		tpInterlock(), tpDCacheStride(), tpICacheBig(), tpUncached(),
+	}
+	ws = append(ws, coverPrograms()...)
+	ws = append(ws, hybridPrograms()...)
+	ws = append(ws, densityPrograms()...)
+	ws = append(ws, tpMixedCustom())
+	return ws
+}
+
+func tpALUMix() core.Workload {
+	src := "start:\n" + seedScratch(11) +
+		loopAround("l_mix", 150, arithBlock(48, 101, "alu")) +
+		"    ret\n"
+	return core.Workload{Name: "tp01_alu_mix", Source: src}
+}
+
+func tpALUDep() core.Workload {
+	// A large straight-line body (~18 KB of code): this program carries
+	// both an ALU-blend mix and instruction-cache capacity misses, so the
+	// icache-miss coefficient is not anchored by tp13 alone.
+	src := "start:\n" + seedScratch(12) +
+		loopAround("l_dep", 6, arithBlock(4600, 202, "blend")) +
+		"    ret\n"
+	return core.Workload{Name: "tp02_alu_blend", Source: src}
+}
+
+func tpShift() core.Workload {
+	src := "start:\n" + seedScratch(13) +
+		loopAround("l_sh", 140, arithBlock(40, 303, "shift")) +
+		"    ret\n"
+	return core.Workload{Name: "tp03_shift", Source: src}
+}
+
+func tpMul() core.Workload {
+	src := "start:\n" + seedScratch(14) +
+		loopAround("l_mu", 110, arithBlock(36, 404, "mul")) +
+		"    ret\n"
+	return core.Workload{Name: "tp04_mul", Source: src}
+}
+
+func tpLoadStream() core.Workload {
+	src := fmt.Sprintf(`start:
+    movi a2, arr
+    movi a3, 240
+l_ld:
+    l32i a4, a2, 0
+    l32i a5, a2, 4
+    l32i a6, a2, 8
+    l32i a7, a2, 12
+    l16ui a8, a2, 16
+    l8ui a9, a2, 20
+    add a10, a4, a5
+    add a10, a10, a6
+    addi a2, a2, 24
+    addi a3, a3, -1
+    bnez a3, l_ld
+    movi a15, 18
+l_rep:
+    movi a2, arr
+    movi a3, 240
+l_ld2:
+    l32i a4, a2, 0
+    l32i a5, a2, 12
+    addi a2, a2, 24
+    addi a3, a3, -1
+    bnez a3, l_ld2
+    addi a15, a15, -1
+    bnez a15, l_rep
+    ret
+.data 0x1000
+%s`, wordData("arr", randWords(1500, 7)))
+	return core.Workload{Name: "tp05_load_stream", Source: src}
+}
+
+func tpStoreStream() core.Workload {
+	src := `start:
+    movi a2, 0x2000
+    movi a4, 12345
+    movi a5, 777
+    movi a15, 16
+l_rep:
+    movi a2, 0x2000
+    movi a3, 300
+l_st:
+    s32i a4, a2, 0
+    s32i a5, a2, 4
+    s16i a4, a2, 8
+    s8i a5, a2, 10
+    add a4, a4, a5
+    addi a2, a2, 12
+    addi a3, a3, -1
+    bnez a3, l_st
+    addi a15, a15, -1
+    bnez a15, l_rep
+    ret
+`
+	return core.Workload{Name: "tp06_store_stream", Source: src}
+}
+
+func tpMemcpy() core.Workload {
+	// Source (12 KB) plus destination (12 KB) exceed the 16 KB D-cache,
+	// so later passes keep missing: a second anchor for the dcache-miss
+	// coefficient besides tp12.
+	src := fmt.Sprintf(`start:
+    movi a15, 14
+l_rep:
+    movi a2, src_a
+    movi a3, 0x9000
+    movi a4, 1536
+l_cp:
+    l32i a5, a2, 0
+    l32i a6, a2, 4
+    s32i a5, a3, 0
+    s32i a6, a3, 4
+    addi a2, a2, 8
+    addi a3, a3, 8
+    addi a4, a4, -1
+    bnez a4, l_cp
+    addi a15, a15, -1
+    bnez a15, l_rep
+    ret
+.data 0x1000
+%s`, wordData("src_a", randWords(3072, 9)))
+	return core.Workload{Name: "tp07_memcpy", Source: src}
+}
+
+func tpBranchTaken() core.Workload {
+	body := ""
+	for i := 0; i < 16; i++ {
+		body += fmt.Sprintf("    beq a16, a16, t%d\n    nop\nt%d:\n    addi a17, a17, 1\n", i, i)
+	}
+	src := "start:\n    movi a16, 5\n    movi a17, 0\n" +
+		loopAround("l_bt", 250, body) + "    ret\n"
+	return core.Workload{Name: "tp08_branch_taken", Source: src}
+}
+
+func tpBranchUntaken() core.Workload {
+	body := ""
+	for i := 0; i < 20; i++ {
+		body += fmt.Sprintf("    bne a16, a16, u%d\n    addi a17, a17, 3\nu%d:\n", i, i)
+	}
+	src := "start:\n    movi a16, 5\n    movi a17, 0\n" +
+		loopAround("l_bu", 240, body) + "    ret\n"
+	return core.Workload{Name: "tp09_branch_untaken", Source: src}
+}
+
+func tpCalls() core.Workload {
+	src := `start:
+    movi a14, 400
+    movi a16, 1
+    movi a17, 2
+l_call:
+    call f1
+    call f2
+    call f1
+    j l_j1
+l_j1:
+    j l_j2
+l_j2:
+    addi a14, a14, -1
+    bnez a14, l_call
+    j done
+f1:
+    add a16, a16, a17
+    xor a17, a17, a16
+    jx a0
+.uncached
+f2:
+    sub a17, a17, a16
+    slli a16, a16, 1
+    srli a16, a16, 1
+    jx a0
+.cached
+done:
+`
+	return core.Workload{Name: "tp10_calls", Source: src}
+}
+
+func tpInterlock() core.Workload {
+	src := fmt.Sprintf(`start:
+    movi a15, 120
+l_rep:
+    movi a2, arr
+    movi a3, 60
+l_il:
+    l32i a4, a2, 0
+    add a5, a4, a4      ; load-use interlock
+    l32i a6, a2, 4
+    sub a7, a6, a5      ; load-use interlock
+    mul a8, a7, a5
+    add a9, a8, a8      ; mult interlock
+    addi a2, a2, 8
+    addi a3, a3, -1
+    bnez a3, l_il
+    addi a15, a15, -1
+    bnez a15, l_rep
+    ret
+.data 0x1000
+%s`, wordData("arr", randWords(128, 21)))
+	return core.Workload{Name: "tp11_interlock", Source: src}
+}
+
+func tpDCacheStride() core.Workload {
+	// Walks 96 KB with a cache-line stride: far beyond the 16 KB D-cache,
+	// so every pass misses throughout.
+	src := `start:
+    movi a15, 7
+l_rep:
+    movi a2, 0x4000
+    movi a3, 3072
+l_dc:
+    l32i a4, a2, 0
+    add a5, a5, a4
+    s32i a5, a2, 4
+    addi a2, a2, 32
+    addi a3, a3, -1
+    bnez a3, l_dc
+    addi a15, a15, -1
+    bnez a15, l_rep
+    ret
+`
+	return core.Workload{Name: "tp12_dcache_stride", Source: src}
+}
+
+func tpICacheBig() core.Workload {
+	// A 5600-instruction straight-line body (~22 KB of code) looped a few
+	// times: the 16 KB I-cache thrashes with capacity misses.
+	src := "start:\n" + seedScratch(15) +
+		loopAround("l_ic", 5, arithBlock(5600, 505, "blend")) +
+		"    ret\n"
+	return core.Workload{Name: "tp13_icache_big", Source: src}
+}
+
+func tpUncached() core.Workload {
+	src := `start:
+    movi a16, 900
+    movi a17, 3
+    j l_unc
+.uncached
+l_unc:
+    add a18, a17, a16
+    xor a19, a18, a17
+    sub a17, a18, a19
+    or a20, a17, a16
+    addi a16, a16, -1
+    bnez a16, l_unc
+.cached
+    ret
+`
+	return core.Workload{Name: "tp14_uncached", Source: src}
+}
+
+// coverPrograms builds the ten custom-hardware characterization
+// programs. Extension i exercises three categories (heavy/medium/light,
+// see makeCoverExt), and each program runs two loops with different
+// custom-instruction densities, base-instruction mixes, and iteration
+// counts, so the regression can separate the structural coefficients
+// from each other and from the instruction-level variables.
+func coverPrograms() []core.Workload {
+	var out []core.Workload
+	for i := 0; i < hwlib.NumCategories; i++ {
+		ext := makeCoverExt(i, 0)
+		iters1 := 170 + 41*i
+		iters2 := 110 + 29*((i+5)%hwlib.NumCategories)
+		body1 := `    xa a18, a16, a17
+    add a19, a18, a16
+    j c_hop
+c_hop:
+    xa a20, a19, a18
+    xb a21, a20, a17
+    bne a20, a20, c_nt
+c_nt:
+    xor a16, a21, a20
+    addi a17, a17, 7
+`
+		body2 := `    l32i a22, a2, 0
+    xc a23, a22, a16
+    add a16, a16, a23
+    xb a24, a16, a22
+    s32i a24, a2, 4
+    addi a2, a2, 8
+    blt a2, a3, k_wrap
+    movi a2, arr
+k_wrap:
+`
+		src := fmt.Sprintf(`start:
+    movi a16, %d
+    movi a17, %d
+    movi a2, arr
+    movi a3, arr+1000
+%s%s    ret
+.data 0x1000
+%s`,
+			1200+97*i, 500+13*i,
+			loopAround("l_cov1", iters1, body1),
+			loopAround("l_cov2", iters2, body2),
+			wordData("arr", randWords(256, uint32(300+i))))
+		out = append(out, core.Workload{
+			Name:   fmt.Sprintf("tp%02d_cover_%s", 15+i, catSlug(hwlib.Category(i))),
+			Source: src,
+			Ext:    ext,
+		})
+	}
+	return out
+}
+
+// hybridPrograms reuses the cover categories with rotated width tiers
+// (variant 1) and inverted instruction densities: the light instruction
+// dominates and the loop mixes in stores, multiplies and untaken
+// branches, so the hybrid rows are far from collinear with the cover
+// rows.
+func hybridPrograms() []core.Workload {
+	var out []core.Workload
+	for i := 0; i < hwlib.NumCategories; i++ {
+		ext := makeCoverExt(i, 1)
+		iters1 := 140 + 31*((i+4)%hwlib.NumCategories)
+		iters2 := 90 + 19*i
+		body1 := `    xc a18, a16, a17
+    mul a19, a18, a16
+    xc a20, a19, a18
+    xc a21, a20, a17
+    bne a21, a21, h_skip
+    sub a16, a21, a20
+h_skip:
+    addi a17, a17, 3
+`
+		body2 := `    l32i a22, a2, 0
+    xb a23, a22, a16
+    j h_hop
+h_hop:
+    xa a24, a16, a22
+    s32i a24, a2, 4
+    s32i a23, a2, 8
+    addi a2, a2, 12
+    blt a2, a3, h_wrap
+    movi a2, arr
+h_wrap:
+`
+		src := fmt.Sprintf(`start:
+    movi a16, %d
+    movi a17, %d
+    movi a2, arr
+    movi a3, arr+1200
+%s%s    ret
+.data 0x1000
+%s`,
+			800+53*i, 250+29*i,
+			loopAround("h_l1", iters1, body1),
+			loopAround("h_l2", iters2, body2),
+			wordData("arr", randWords(320, uint32(600+i))))
+		out = append(out, core.Workload{
+			Name:   fmt.Sprintf("tp%02d_hybrid_%s", 25+i, catSlug(hwlib.Category(i))),
+			Source: src,
+			Ext:    ext,
+		})
+	}
+	return out
+}
+
+// densityPrograms varies the custom-instruction density from back-to-back
+// to sparse, on extensions whose primary latencies differ, pinning down
+// the custom-side-effect (per-cycle) versus per-instruction split.
+func densityPrograms() []core.Workload {
+	specs := []struct {
+		name    string
+		extIdx  int
+		variant int
+		body    string
+		iters   int
+	}{
+		{"tp35_dense_custom", 2, 0, `    xa a18, a16, a17
+    xa a19, a18, a16
+    j d35_hop
+d35_hop:
+    xa a20, a19, a18
+    xb a21, a20, a19
+    xb a22, a21, a20
+    xc a16, a22, a21
+`, 300},
+		{"tp36_sparse_custom", 5, 1, arithBlock(18, 909, "alu") + `    xa a18, a16, a17
+` + arithBlock(14, 910, "alu"), 160},
+		{"tp37_memheavy_custom", 8, 0, `    l32i a18, a2, 0
+    l32i a19, a2, 4
+    xa a20, a18, a19
+    bne a18, a18, d_nt37
+d_nt37:
+    s32i a20, a2, 8
+    addi a2, a2, 12
+    blt a2, a3, d_wrap
+    movi a2, arr
+d_wrap:
+`, 420},
+		{"tp38_branchy_custom", 1, 1, `    xb a18, a16, a17
+    beq a18, a16, d_nt
+    addi a17, a17, 1
+d_nt:
+    xc a19, a17, a18
+    bnez a19, d_t
+    nop
+d_t:
+    add a16, a16, a19
+`, 260},
+		{"tp39_longlat_custom", 9, 0, `    xa a18, a16, a17
+    add a19, a18, a16
+    xa a20, a19, a17
+    xor a16, a20, a19
+`, 340},
+	}
+	var out []core.Workload
+	for _, sp := range specs {
+		ext := makeCoverExt(sp.extIdx, sp.variant)
+		src := fmt.Sprintf(`start:
+    movi a16, 3111
+    movi a17, 271
+    movi a2, arr
+    movi a3, arr+900
+%s    ret
+.data 0x1000
+%s`,
+			loopAround("d_loop", sp.iters, sp.body),
+			wordData("arr", randWords(240, 777)))
+		out = append(out, core.Workload{Name: sp.name, Source: src, Ext: ext})
+	}
+	return out
+}
+
+func catSlug(cat hwlib.Category) string {
+	slugs := [hwlib.NumCategories]string{
+		"mult", "addsub", "logic", "shifter", "custreg",
+		"tiemult", "tiemac", "tieadd", "tiecsa", "table",
+	}
+	return slugs[cat]
+}
+
+func tpMixedCustom() core.Workload {
+	src := fmt.Sprintf(`start:
+    movi a3, arr+1000
+    movi a16, 4021
+    movi a17, 917
+    movi a2, arr
+    movi a15, 260
+l_mx:
+    l32i a18, a2, 0
+    xmix1 a19, a18, a16
+    xmix2 a20, a19, a17
+    add a16, a16, a20
+    xmix1 a21, a17, a19
+    s32i a21, a2, 4
+    addi a2, a2, 8
+    blt a2, a3, l_keep
+    movi a2, arr
+l_keep:
+    addi a15, a15, -1
+    bnez a15, l_mx
+    ret
+.data 0x1000
+%s`, wordData("arr", randWords(256, 33)))
+	return core.Workload{Name: "tp40_mixed_custom", Source: src, Ext: mixedCoverExtension()}
+}
