@@ -236,6 +236,35 @@ func BenchmarkRTLPowerEstimate(b *testing.B) {
 	}
 }
 
+// BenchmarkReferenceStreamed measures the streaming reference path —
+// the ISS feeding the incremental StreamEstimator through the bounded
+// batch channel (rtlpower.RunStreamed), with no materialized trace.
+// Compare against BenchmarkISSWithTrace + BenchmarkRTLPowerEstimate,
+// the two halves of the old materialize-then-walk pipeline; allocs/op
+// here is independent of how many instructions the workload retires.
+func BenchmarkReferenceStreamed(b *testing.B) {
+	w := workloads.ReedSolomonBase()
+	proc, prog, err := w.Build(procgen.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := rtlpower.New(proc, rtlpower.FastTechnology())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := est.Stream()
+		if _, err := rtlpower.RunStreamed(iss.New(proc), prog, iss.Options{}, st); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAssembler measures two-pass assembly of a mid-sized program.
 func BenchmarkAssembler(b *testing.B) {
 	w := workloads.ReedSolomonBase()

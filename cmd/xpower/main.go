@@ -68,15 +68,26 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := iss.New(proc).Run(prog, iss.Options{CollectTrace: true})
-	if err != nil {
-		return err
-	}
 	est, err := rtlpower.New(proc, tech)
 	if err != nil {
 		return err
 	}
-	rep, err := est.EstimateTrace(res.Trace)
+
+	// One streamed pass: the ISS feeds retired-instruction batches to the
+	// incremental estimator through a bounded channel, so no trace is
+	// materialized no matter how long the workload runs. The power
+	// profile, when requested, hangs off the same pass.
+	st := est.Stream()
+	var acc *rtlpower.ProfileAccumulator
+	if *profile > 0 {
+		acc = rtlpower.NewProfileAccumulator(*profile)
+		st.OnEntry = acc.OnEntry
+	}
+	res, err := rtlpower.RunStreamed(iss.New(proc), prog, iss.Options{}, st)
+	if err != nil {
+		return err
+	}
+	rep, err := st.Finish()
 	if err != nil {
 		return err
 	}
@@ -97,17 +108,9 @@ func run() error {
 			base*1e-6, 100*base/rep.TotalPJ, custom*1e-6, 100*custom/rep.TotalPJ)
 	}
 
-	if *profile > 0 {
-		est2, err := rtlpower.New(proc, tech)
-		if err != nil {
-			return err
-		}
-		points, err := est2.Profile(res.Trace, *profile)
-		if err != nil {
-			return err
-		}
+	if acc != nil {
 		fmt.Println()
-		fmt.Print(rtlpower.FormatProfile(points, cfg.ClockMHz))
+		fmt.Print(rtlpower.FormatProfile(acc.Points(), cfg.ClockMHz))
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -42,11 +43,11 @@ type CharacterizationResult struct {
 }
 
 // Characterize runs the full characterization flow (paper Fig. 2, steps
-// 1-8): for every test program it generates the custom processor, runs
-// instruction-set simulation with trace collection, performs dynamic
-// resource-usage analysis, measures the reference energy with the
-// RTL-level estimator, and finally fits the 21 energy coefficients by
-// regression.
+// 1-8): for every test program it generates the custom processor,
+// streams instruction-set simulation directly into the RTL-level
+// reference estimator (no trace is materialized), performs dynamic
+// resource-usage analysis, and finally fits the 21 energy coefficients
+// by regression.
 //
 // The test suite must exercise enough variable diversity for the system
 // to be well-posed: at least NumVars programs, covering the base
@@ -59,11 +60,15 @@ func Characterize(cfg procgen.Config, tech rtlpower.Technology, programs []Workl
 		return nil, fmt.Errorf("core: no test programs")
 	}
 
-	// Each test program's leg — processor generation, simulation with
-	// trace, resource analysis, reference power estimation — is
-	// independent of the others, so the suite is measured with a worker
-	// pool. Results are deterministic regardless of scheduling: every
-	// program gets its own simulator and estimator (with the technology's
+	// Each test program's leg — processor generation, streamed simulation
+	// + reference power estimation, resource analysis — is independent of
+	// the others, so the suite is measured with a worker pool. Within
+	// each worker the ISS feeds the incremental estimator through a
+	// bounded batch channel (rtlpower.RunStreamed via EstimateProgram):
+	// no execution trace is ever materialized, so memory stays O(1) in
+	// workload length and simulation overlaps with per-net estimation.
+	// Results are deterministic regardless of scheduling: every program
+	// gets its own simulator and stream estimator (with the technology's
 	// fixed seed).
 	obs := make([]Observation, len(programs))
 	errs := make([]error, len(programs))
@@ -76,17 +81,22 @@ func Characterize(cfg procgen.Config, tech rtlpower.Technology, programs []Workl
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			w := &programs[i]
-			proc, res, vars, err := w.Simulate(cfg, true)
+			proc, prog, err := w.Build(cfg)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			est, err := rtlpower.New(proc, tech)
 			if err != nil {
-				errs[i] = err
+				errs[i] = fmt.Errorf("core: workload %s: %w", w.Name, err)
 				return
 			}
-			rep, err := est.EstimateTrace(res.Trace)
+			rep, res, err := est.EstimateProgram(prog)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: workload %s: %w", w.Name, err)
+				return
+			}
+			vars, err := Extract(proc.TIE, &res.Stats)
 			if err != nil {
 				errs[i] = fmt.Errorf("core: workload %s: %w", w.Name, err)
 				return
@@ -101,10 +111,11 @@ func Characterize(cfg procgen.Config, tech rtlpower.Technology, programs []Workl
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	// A failing suite reports every broken program, not just the first:
+	// each per-workload error above is named, and errors.Join skips the
+	// programs that succeeded.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	rows := make([][]float64, len(programs))
 	energies := make([]float64, len(programs))

@@ -58,7 +58,9 @@ type Reference struct {
 func (r Reference) EnergyUJ() float64 { return r.EnergyPJ * 1e-6 }
 
 // ReferenceEnergy measures a workload's energy with the RTL-level
-// reference estimator (the WattWatcher leg of Table II).
+// reference estimator (the WattWatcher leg of Table II). The ISS
+// streams into the estimator (rtlpower.EstimateProgram), so the
+// measurement runs in O(1) memory regardless of workload length.
 func ReferenceEnergy(cfg procgen.Config, tech rtlpower.Technology, w Workload) (Reference, error) {
 	proc, prog, err := w.Build(cfg)
 	if err != nil {

@@ -4,6 +4,12 @@
 // estimates vs. the RTL reference), Fig. 4 (relative accuracy across the
 // Reed-Solomon custom-instruction choices), and the speedup comparison,
 // plus the ablation studies called out in DESIGN.md.
+//
+// Every reference measurement in this package is trace-free: the
+// characterization and Table II legs stream the ISS directly into the
+// incremental RTL estimator (rtlpower.StreamEstimator) instead of
+// materializing []iss.TraceEntry, so the experiments run in O(1) trace
+// memory regardless of workload length.
 package experiments
 
 import (
@@ -368,8 +374,8 @@ type SpeedupResult struct {
 }
 
 // Speedup times macro-model estimation (ISS + resource analysis + dot
-// product) against the RTL-level reference (ISS with trace + structural
-// per-net simulation) over all ten applications. The reference runs at
+// product) against the RTL-level reference (ISS streaming into the
+// structural per-net simulation) over all ten applications. The reference runs at
 // full netlist resolution (Detail 1.0) regardless of the suite's
 // technology, since that is the honest cost of the slow path. The paper
 // reports an average speedup of three orders of magnitude against

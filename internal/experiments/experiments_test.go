@@ -203,7 +203,10 @@ func TestSpeedupQuick(t *testing.T) {
 	}
 	// The reference path must be at least two orders of magnitude
 	// slower (the paper reports three against true gate-level RTL).
-	if r.Speedup < 50 {
+	// The race detector slows the ISS-bound macro leg and the
+	// arithmetic-bound reference leg by very different factors, so the
+	// ratio is only asserted in uninstrumented builds.
+	if !raceEnabled && r.Speedup < 50 {
 		t.Fatalf("speedup only %.0fx", r.Speedup)
 	}
 	if !strings.Contains(FormatSpeedup(r), "SPEEDUP") {

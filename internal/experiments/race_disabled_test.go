@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with the race
+// detector. See race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with the race
+// detector. Its instrumentation slows the two legs of the speedup
+// measurement by very different factors, so timing-ratio assertions
+// are skipped when it is on.
+const raceEnabled = true

@@ -1,0 +1,86 @@
+package iss_test
+
+import (
+	"testing"
+
+	"xtenergy/internal/hwlib"
+	"xtenergy/internal/tie"
+)
+
+// immExt declares two TIE instructions over the same adder datapath:
+// addk (immediate form: the third assembler operand is a 6-bit signed
+// constant carried in the Rt field) and gadd (register form).
+func immExt() *tie.Extension {
+	dp := []tie.DatapathElem{{
+		Component: hwlib.Component{Name: "u", Cat: hwlib.TIEAdd, Width: 32},
+	}}
+	return &tie.Extension{
+		Name: "ilk",
+		Instructions: []*tie.Instruction{
+			{
+				Name: "addk", Latency: 1, ReadsGeneral: true, WritesGeneral: true, ImmOperand: true,
+				Datapath: dp,
+				Semantics: func(_ *tie.State, op tie.Operands) uint32 {
+					return op.RsVal + uint32(op.Imm)
+				},
+			},
+			{
+				Name: "gadd", Latency: 1, ReadsGeneral: true, WritesGeneral: true,
+				Datapath: dp,
+				Semantics: func(_ *tie.State, op tie.Operands) uint32 {
+					return op.RsVal + op.RtVal
+				},
+			},
+		},
+	}
+}
+
+// Regression test for the phantom-interlock bug: an immediate-form TIE
+// instruction carries its 6-bit constant in the Rt field, so the
+// interlock checker must not compare those bits against the previous
+// load's destination register. Here the load writes a3 and the
+// following addk's immediate is 3 — exactly the aliasing that used to
+// charge a spurious stall and inflate N_ilk.
+func TestImmediateOperandNoPhantomInterlock(t *testing.T) {
+	res, _ := runSrcExt(t, `
+    movi a2, 8
+    l32i a3, a2, 0
+    addk a1, a2, 3
+    ret
+`, immExt())
+	if res.Stats.Interlocks != 0 {
+		t.Fatalf("Interlocks = %d, want 0: immediate field must not arm the interlock comparator", res.Stats.Interlocks)
+	}
+}
+
+// The fix must remove only the phantom stalls: real dependences of
+// custom instructions on a preceding load still interlock, through
+// either the Rs field of the immediate form or the Rt field of the
+// register form.
+func TestImmediateOperandGenuineInterlocksRemain(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"imm_form_rs_dependence", `
+    movi a2, 8
+    l32i a3, a2, 0
+    addk a1, a3, 3
+    ret
+`},
+		{"reg_form_rt_dependence", `
+    movi a2, 8
+    l32i a3, a2, 0
+    gadd a1, a2, a3
+    ret
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, _ := runSrcExt(t, tc.src, immExt())
+			if res.Stats.Interlocks != 1 {
+				t.Fatalf("Interlocks = %d, want 1 (genuine load-use dependence)", res.Stats.Interlocks)
+			}
+		})
+	}
+}

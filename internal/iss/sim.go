@@ -23,11 +23,25 @@ const UncachedFetchPenalty = 6
 // Options configures a simulation run.
 type Options struct {
 	// CollectTrace records a TraceEntry per retired instruction
-	// (required by the RTL reference power estimator).
+	// (the materialized-trace mode; O(retired instructions) memory).
 	CollectTrace bool
+	// TraceSink, when non-nil, streams the execution trace instead:
+	// every retired instruction is delivered, in order, in batches of up
+	// to TraceBatchSize entries. The batch slice is owned by the
+	// simulator and reused after the call returns, so a sink that keeps
+	// entries beyond the call must copy them. Returning a non-nil error
+	// aborts the run. TraceSink keeps trace consumers (e.g. the RTL
+	// reference estimator) at O(1) memory regardless of run length, and
+	// may be combined with CollectTrace.
+	TraceSink func(batch []TraceEntry) error
 	// MaxCycles aborts runaway programs; 0 means the default (200M).
 	MaxCycles uint64
 }
+
+// TraceBatchSize is the number of retired instructions delivered per
+// TraceSink call (the final batch may be shorter). The batch buffer is
+// allocated once per Run, so the retire loop stays allocation-free.
+const TraceBatchSize = 256
 
 // DefaultMaxCycles is the watchdog limit when Options.MaxCycles is 0.
 const DefaultMaxCycles = 200_000_000
@@ -60,6 +74,11 @@ type Simulator struct {
 	prog  *Program
 	stats Stats
 	trace []TraceEntry
+
+	// Streaming-trace state: sink is Options.TraceSink for the current
+	// run; batch is the reusable fixed-size delivery buffer.
+	sink  func(batch []TraceEntry) error
+	batch []TraceEntry
 
 	// Zero-overhead loop state (the configurable loop option): when
 	// loopActive and execution reaches loopEnd, control returns to
@@ -97,6 +116,13 @@ func (s *Simulator) Run(prog *Program, opts Options) (*Result, error) {
 	if opts.CollectTrace {
 		s.trace = make([]TraceEntry, 0, 4096)
 	}
+	s.sink = opts.TraceSink
+	if s.sink != nil {
+		if s.batch == nil {
+			s.batch = make([]TraceEntry, 0, TraceBatchSize)
+		}
+		s.batch = s.batch[:0]
+	}
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = DefaultMaxCycles
@@ -121,6 +147,13 @@ func (s *Simulator) Run(prog *Program, opts Options) (*Result, error) {
 			break
 		}
 		pc = next
+	}
+
+	if s.sink != nil && len(s.batch) > 0 {
+		if err := s.sink(s.batch); err != nil {
+			return nil, fmt.Errorf("iss: %s: trace sink: %w", prog.Name, err)
+		}
+		s.batch = s.batch[:0]
 	}
 
 	res := &Result{Stats: s.stats, Trace: s.trace, Regs: s.regs}
@@ -180,9 +213,10 @@ func (s *Simulator) step(pc int, collect bool) (next int, halt bool, err error) 
 	}
 
 	// --- Interlock detection ---
+	customRs, customRt := s.customRegReads(in)
 	stall := s.pipe.Interlock(pipeline.Use{
-		ReadsRs:  d.ReadsRs || s.customReadsGeneral(in),
-		ReadsRt:  d.ReadsRt || s.customReadsGeneral(in),
+		ReadsRs:  d.ReadsRs || customRs,
+		ReadsRt:  d.ReadsRt || customRt,
 		Rs:       in.Rs,
 		Rt:       in.Rt,
 		IsLoad:   d.Class == isa.ClassLoad,
@@ -207,7 +241,9 @@ func (s *Simulator) step(pc int, collect bool) (next int, halt bool, err error) 
 			return 0, false, err
 		}
 		cycles += n
-		s.finishEntry(&te, pc, in, cycles, collect)
+		if err := s.finishEntry(&te, pc, in, cycles, collect); err != nil {
+			return 0, false, err
+		}
 		return s.loopBack(pc + 1), false, nil
 	}
 
@@ -216,7 +252,9 @@ func (s *Simulator) step(pc int, collect bool) (next int, halt bool, err error) 
 		return 0, false, err
 	}
 	cycles += r.cycles
-	s.finishEntry(&te, pc, in, cycles, collect)
+	if err := s.finishEntry(&te, pc, in, cycles, collect); err != nil {
+		return 0, false, err
+	}
 	if r.halt {
 		return 0, true, nil
 	}
@@ -237,12 +275,21 @@ func (s *Simulator) loopBack(next int) int {
 	return next
 }
 
-func (s *Simulator) customReadsGeneral(in isa.Instr) bool {
+// customRegReads reports which general-register operand fields a custom
+// instruction actually reads. For the immediate form, the Rt field
+// carries a 6-bit signed constant (see execCustom), not a register
+// number, so it must not arm the interlock comparator: treating it as a
+// register read produced phantom interlock stalls whenever the constant
+// happened to equal the previous load/mult destination, inflating N_ilk.
+func (s *Simulator) customRegReads(in isa.Instr) (rs, rt bool) {
 	if !in.IsCustom() {
-		return false
+		return false, false
 	}
 	ci, err := s.proc.TIE.Instruction(in.CustomID)
-	return err == nil && ci.ReadsGeneral
+	if err != nil || !ci.ReadsGeneral {
+		return false, false
+	}
+	return true, !ci.ImmOperand
 }
 
 func (s *Simulator) customWritesGeneral(in isa.Instr) bool {
@@ -290,17 +337,28 @@ func (s *Simulator) execCustom(in isa.Instr, te *TraceEntry) (int, error) {
 	return ci.Latency, nil
 }
 
-func (s *Simulator) finishEntry(te *TraceEntry, pc int, in isa.Instr, cycles int, collect bool) {
+func (s *Simulator) finishEntry(te *TraceEntry, pc int, in isa.Instr, cycles int, collect bool) error {
 	s.stats.Cycles += uint64(cycles)
+	if !collect && s.sink == nil {
+		return nil
+	}
+	te.PC = int32(pc)
+	te.Instr = in
+	te.Cycles = uint32(cycles)
 	if collect {
-		te.PC = int32(pc)
-		te.Instr = in
-		if cycles > 0xFFFF {
-			cycles = 0xFFFF
-		}
-		te.Cycles = uint16(cycles)
 		s.trace = append(s.trace, *te)
 	}
+	if s.sink != nil {
+		s.batch = append(s.batch, *te)
+		if len(s.batch) == cap(s.batch) {
+			err := s.sink(s.batch)
+			s.batch = s.batch[:0]
+			if err != nil {
+				return fmt.Errorf("trace sink: %w", err)
+			}
+		}
+	}
+	return nil
 }
 
 // --- memory access helpers (little endian, bounds- and alignment-checked) ---

@@ -131,8 +131,9 @@ type TraceEntry struct {
 	// Instr is the retired instruction.
 	Instr isa.Instr
 	// Cycles is the total cycles charged to the instruction, including
-	// penalties and stalls.
-	Cycles uint16
+	// penalties and stalls. Wide enough that it is never clamped, so
+	// summing trace cycles always agrees with Stats.Cycles.
+	Cycles uint32
 	// Events.
 	ICMiss, DCMiss, Uncached, Interlock, Taken bool
 	// Operand and result values, for switching-activity computation in

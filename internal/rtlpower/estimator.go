@@ -2,7 +2,6 @@ package rtlpower
 
 import (
 	"fmt"
-	"math/bits"
 
 	"xtenergy/internal/isa"
 	"xtenergy/internal/iss"
@@ -46,15 +45,18 @@ const (
 	pIdle          = 0.08
 )
 
-// Estimator performs structural, cycle-by-cycle energy estimation over a
-// recorded execution trace. It is the slow, accurate reference tool of
-// the characterization flow. An Estimator is not safe for concurrent
-// use.
+// Estimator performs structural, cycle-by-cycle energy estimation over
+// an execution trace — either materialized (EstimateTrace) or streamed
+// incrementally from the ISS (Stream / EstimateProgram). It is the
+// slow, accurate reference tool of the characterization flow. An
+// Estimator is not safe for concurrent use.
 type Estimator struct {
 	proc   *procgen.Processor
 	tech   Technology
 	blocks []blockModel
-	rng    uint32
+	// kindIdx maps base block kinds to their Processor.Blocks index
+	// (the generator may omit the multiplier).
+	kindIdx map[procgen.BlockKind]int
 }
 
 // New builds an estimator for proc under the given technology.
@@ -62,7 +64,12 @@ func New(proc *procgen.Processor, tech Technology) (*Estimator, error) {
 	if err := tech.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Estimator{proc: proc, tech: tech}
+	e := &Estimator{proc: proc, tech: tech, kindIdx: map[procgen.BlockKind]int{}}
+	for i, b := range proc.Blocks {
+		if b.Kind != procgen.BlockCustom {
+			e.kindIdx[b.Kind] = i
+		}
+	}
 	for _, b := range proc.Blocks {
 		var bm blockModel
 		if b.Kind == procgen.BlockCustom {
@@ -97,196 +104,17 @@ func (e *Estimator) Technology() Technology { return e.tech }
 // EstimateTrace runs the reference energy simulation over a trace
 // recorded by the ISS (Options.CollectTrace). The same trace can be
 // estimated repeatedly; results are deterministic for a given
-// technology seed.
+// technology seed. It is a thin wrapper over the streaming form
+// (Stream / StreamEstimator) and produces bit-identical reports.
 func (e *Estimator) EstimateTrace(trace []iss.TraceEntry) (Report, error) {
-	return e.estimateTrace(trace, nil)
-}
-
-// estimateTrace is the shared walk; onEntry (optional) receives each
-// retired instruction's index, cycle count and energy.
-func (e *Estimator) estimateTrace(trace []iss.TraceEntry, onEntry func(idx int, cycles uint64, pj float64)) (Report, error) {
 	if len(trace) == 0 {
 		return Report{}, fmt.Errorf("rtlpower: empty trace (was the ISS run with CollectTrace?)")
 	}
-	e.rng = e.tech.Seed | 1
-
-	perBlock := make([]float64, len(e.blocks))
-	var cycles uint64
-
-	// activity[i] = active cycles of block i for the current instruction.
-	activity := make([]int, len(e.blocks))
-
-	icPen := e.proc.Config.ICache.MissPenalty
-	dcPen := e.proc.Config.DCache.MissPenalty
-
-	var prev iss.TraceEntry
-	havePrev := false
-
-	// Indices of base blocks (the generator may omit the multiplier).
-	idx := map[procgen.BlockKind]int{}
-	for i, b := range e.proc.Blocks {
-		if b.Kind != procgen.BlockCustom {
-			idx[b.Kind] = i
-		}
+	s := e.Stream()
+	if err := s.Consume(trace); err != nil {
+		return Report{}, err
 	}
-
-	for ti := range trace {
-		te := &trace[ti]
-		cyc := int(te.Cycles)
-		if cyc <= 0 {
-			cyc = 1
-		}
-		cycles += uint64(cyc)
-
-		// Data switching activity on the operand/result buses relative
-		// to the previous instruction: the data-dependent term a linear
-		// macro-model cannot see.
-		s := 0.5
-		if havePrev {
-			h := bits.OnesCount32(te.RsVal^prev.RsVal) +
-				bits.OnesCount32(te.RtVal^prev.RtVal) +
-				bits.OnesCount32(te.Result^prev.Result)
-			s = float64(h) / 96
-		}
-		prev = *te
-		havePrev = true
-
-		for i := range activity {
-			activity[i] = 0
-		}
-
-		in := te.Instr
-		d := in.Def()
-
-		// Always-on blocks.
-		activity[idx[procgen.BlockClock]] = cyc
-		activity[idx[procgen.BlockPipeCtl]] = cyc
-		activity[idx[procgen.BlockFetch]] = cyc
-		activity[idx[procgen.BlockDecode]] = 1
-
-		// Front end.
-		if te.Uncached {
-			activity[idx[procgen.BlockBus]] += iss.UncachedFetchPenalty
-		} else {
-			a := 1
-			if te.ICMiss {
-				a += icPen
-				activity[idx[procgen.BlockBus]] += icPen
-			}
-			activity[idx[procgen.BlockICache]] = a
-		}
-
-		// Register file.
-		regfileActive := d.ReadsRs || d.ReadsRt || d.WritesRd
-		if in.IsCustom() {
-			if ci, err := e.proc.TIE.Instruction(in.CustomID); err == nil {
-				regfileActive = ci.AccessesGeneralRegfile()
-			}
-		}
-		if regfileActive {
-			activity[idx[procgen.BlockRegfile]] = 1
-		}
-
-		// Execution units and memory pipeline.
-		switch {
-		case in.IsCustom():
-			ci, err := e.proc.TIE.Instruction(in.CustomID)
-			if err != nil {
-				return Report{}, err
-			}
-			for _, ci2 := range e.proc.TIE.ActiveByInstr[in.CustomID] {
-				activity[e.proc.CustomBlockBase+ci2] += ci.Latency
-			}
-		case isMult(in.Op):
-			if mi, ok := idx[procgen.BlockMult]; ok {
-				activity[mi] = d.Cycles
-			} else {
-				activity[idx[procgen.BlockALU]] = d.Cycles
-			}
-		case isShift(in.Op):
-			activity[idx[procgen.BlockShifter]] = 1
-		case d.Class == isa.ClassArith:
-			activity[idx[procgen.BlockALU]] = d.Cycles
-		case d.Class == isa.ClassBranch:
-			activity[idx[procgen.BlockALU]] = 1
-		case d.Class == isa.ClassLoad || d.Class == isa.ClassStore:
-			a := 1
-			if te.DCMiss {
-				a += dcPen
-				activity[idx[procgen.BlockBus]] += dcPen
-			}
-			activity[idx[procgen.BlockLSU]] = a
-			activity[idx[procgen.BlockDCache]] = a
-		}
-
-		// Base-to-custom side effect: custom hardware latched off the
-		// shared operand buses switches when base arithmetic drives them
-		// (paper Fig. 1 Example 1).
-		if !in.IsCustom() && d.Class == isa.ClassArith {
-			for _, ci2 := range e.proc.TIE.BusTapped {
-				activity[e.proc.CustomBlockBase+ci2]++
-			}
-		}
-
-		// Simulate every block for every cycle of this instruction.
-		pAct := pActiveNominal * (1 + e.tech.SwitchingWeight*(2*s-1))
-		var entryPJ float64
-		for bi := range e.blocks {
-			bm := &e.blocks[bi]
-			act := activity[bi]
-			if act > cyc {
-				act = cyc
-			}
-			if act > 0 {
-				pj := e.simulateNets(bm.nets, act, pAct) * bm.activePJNet
-				perBlock[bi] += pj
-				entryPJ += pj
-			}
-			if idle := cyc - act; idle > 0 {
-				pj := e.simulateNets(bm.nets, idle, pIdle) * bm.idlePJNet
-				perBlock[bi] += pj
-				entryPJ += pj
-			}
-		}
-		if onEntry != nil {
-			onEntry(ti, uint64(cyc), entryPJ)
-		}
-	}
-
-	var total float64
-	for _, v := range perBlock {
-		total += v
-	}
-	return Report{TotalPJ: total, PerBlockPJ: perBlock, Cycles: cycles}, nil
-}
-
-// simulateNets advances the toggle process of a net population for the
-// given number of cycles and returns the number of observed toggles.
-// This per-net work is what a gate-level power simulator fundamentally
-// does, and is what makes the reference path slow.
-func (e *Estimator) simulateNets(nets, cycles int, p float64) float64 {
-	if p < 0 {
-		p = 0
-	}
-	if p > 1 {
-		p = 1
-	}
-	threshold := uint32(p * float64(1<<32-1))
-	toggles := 0
-	st := e.rng
-	for c := 0; c < cycles; c++ {
-		for n := 0; n < nets; n++ {
-			// xorshift32
-			st ^= st << 13
-			st ^= st >> 17
-			st ^= st << 5
-			if st < threshold {
-				toggles++
-			}
-		}
-	}
-	e.rng = st
-	return float64(toggles)
+	return s.Finish()
 }
 
 func isMult(op isa.Opcode) bool {
@@ -302,16 +130,19 @@ func isShift(op isa.Opcode) bool {
 	return false
 }
 
-// EstimateProgram is a convenience that runs the ISS with trace
-// collection and then the reference estimation — the full "slow path"
-// (RTL simulation of the synthesized processor) for one program.
+// EstimateProgram runs the full "slow path" (RTL simulation of the
+// synthesized processor) for one program: the ISS streams retired
+// instructions into the incremental estimator through a bounded batch
+// channel (see RunStreamed), so the trace is never materialized —
+// memory stays O(1) in the run length and simulation overlaps with
+// estimation. The returned Result carries statistics but no Trace.
 func (e *Estimator) EstimateProgram(prog *iss.Program) (Report, *iss.Result, error) {
-	sim := iss.New(e.proc)
-	res, err := sim.Run(prog, iss.Options{CollectTrace: true})
+	st := e.Stream()
+	res, err := RunStreamed(iss.New(e.proc), prog, iss.Options{}, st)
 	if err != nil {
 		return Report{}, nil, err
 	}
-	rep, err := e.EstimateTrace(res.Trace)
+	rep, err := st.Finish()
 	if err != nil {
 		return Report{}, nil, err
 	}

@@ -25,6 +25,44 @@ func (p ProfilePoint) PowerMW(clockMHz float64) float64 {
 	return p.EnergyPJ / float64(p.Cycles) * clockMHz * 1e6 * 1e-9
 }
 
+// ProfileAccumulator builds a power-vs-time profile incrementally from
+// streamed per-entry energies. Hook OnEntry into a StreamEstimator to
+// derive the profile from the same single estimation pass that produces
+// the Report; the window energies then sum exactly to the report total.
+type ProfileAccumulator struct {
+	window uint64
+	cur    ProfilePoint
+	points []ProfilePoint
+}
+
+// NewProfileAccumulator returns an accumulator cutting windows of the
+// given cycle length. Windows are cut at instruction granularity: an
+// instruction's cycles and energy land in the window containing its
+// first cycle.
+func NewProfileAccumulator(windowCycles uint64) *ProfileAccumulator {
+	return &ProfileAccumulator{window: windowCycles}
+}
+
+// OnEntry folds one retired instruction into the profile; it has the
+// signature of StreamEstimator.OnEntry.
+func (a *ProfileAccumulator) OnEntry(_ int, cycles uint64, pj float64) {
+	a.cur.Cycles += cycles
+	a.cur.EnergyPJ += pj
+	if a.cur.Cycles >= a.window {
+		a.points = append(a.points, a.cur)
+		a.cur = ProfilePoint{StartCycle: a.cur.StartCycle + a.cur.Cycles}
+	}
+}
+
+// Points flushes any trailing partial window and returns the profile.
+func (a *ProfileAccumulator) Points() []ProfilePoint {
+	if a.cur.Cycles > 0 {
+		a.points = append(a.points, a.cur)
+		a.cur = ProfilePoint{StartCycle: a.cur.StartCycle + a.cur.Cycles}
+	}
+	return a.points
+}
+
 // Profile runs the reference energy simulation windowed over time,
 // returning one point per window of the given cycle length — the power
 // waveform view an RTL power tool produces. The sum of the window
@@ -36,27 +74,16 @@ func (e *Estimator) Profile(trace []iss.TraceEntry, windowCycles uint64) ([]Prof
 	if len(trace) == 0 {
 		return nil, fmt.Errorf("rtlpower: empty trace")
 	}
-	var out []ProfilePoint
-	cur := ProfilePoint{}
-	// One shared estimation pass: windows are cut at instruction
-	// granularity (an instruction's cycles and energy land in the window
-	// containing its first cycle), and the window energies sum exactly
-	// to EstimateTrace's total.
-	_, err := e.estimateTrace(trace, func(_ int, cycles uint64, pj float64) {
-		cur.Cycles += cycles
-		cur.EnergyPJ += pj
-		if cur.Cycles >= windowCycles {
-			out = append(out, cur)
-			cur = ProfilePoint{StartCycle: cur.StartCycle + cur.Cycles}
-		}
-	})
-	if err != nil {
+	acc := NewProfileAccumulator(windowCycles)
+	st := e.Stream()
+	st.OnEntry = acc.OnEntry
+	if err := st.Consume(trace); err != nil {
 		return nil, err
 	}
-	if cur.Cycles > 0 {
-		out = append(out, cur)
+	if _, err := st.Finish(); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return acc.Points(), nil
 }
 
 // FormatProfile renders a power waveform as a text chart.

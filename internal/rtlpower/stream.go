@@ -1,0 +1,301 @@
+package rtlpower
+
+import (
+	"errors"
+	"math/bits"
+	"sync/atomic"
+
+	"xtenergy/internal/isa"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+)
+
+// StreamEstimator is the incremental form of the reference estimator:
+// instead of walking a materialized []iss.TraceEntry, it consumes the
+// execution trace batch by batch as the ISS retires instructions
+// (iss.Options.TraceSink) and carries the per-block energy accumulators,
+// the previous-entry switching state, and the xorshift toggle-RNG state
+// across calls. For the same technology seed and the same entry
+// sequence it produces a Report bit-identical to EstimateTrace, in O(1)
+// memory regardless of how many instructions are consumed.
+//
+// A StreamEstimator is a single estimation pass: Consume any number of
+// batches in retirement order, then Finish once. It is not safe for
+// concurrent use; obtain one per run via Estimator.Stream.
+type StreamEstimator struct {
+	e *Estimator
+
+	// OnEntry, if non-nil, is invoked after each consumed instruction
+	// with its zero-based trace index, its cycle count and its energy.
+	// Used by the windowed power profile; leave nil otherwise.
+	OnEntry func(idx int, cycles uint64, pj float64)
+
+	rng      uint32
+	perBlock []float64
+	activity []int // active cycles per block for the current instruction
+	cycles   uint64
+	entries  uint64
+	prev     iss.TraceEntry
+	havePrev bool
+
+	icPen, dcPen int
+}
+
+// Stream starts a fresh incremental estimation pass.
+func (e *Estimator) Stream() *StreamEstimator {
+	return &StreamEstimator{
+		e:        e,
+		rng:      e.tech.Seed | 1,
+		perBlock: make([]float64, len(e.blocks)),
+		activity: make([]int, len(e.blocks)),
+		icPen:    e.proc.Config.ICache.MissPenalty,
+		dcPen:    e.proc.Config.DCache.MissPenalty,
+	}
+}
+
+// Consume folds a batch of retired instructions into the estimate. The
+// batch slice may be reused by the caller after Consume returns; it
+// allocates nothing.
+func (s *StreamEstimator) Consume(batch []iss.TraceEntry) error {
+	for i := range batch {
+		if err := s.consumeEntry(&batch[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// consumeEntry simulates every structural block for every cycle of one
+// retired instruction.
+func (s *StreamEstimator) consumeEntry(te *iss.TraceEntry) error {
+	e := s.e
+	idx := e.kindIdx
+
+	cyc := int(te.Cycles)
+	if cyc <= 0 {
+		cyc = 1
+	}
+	s.cycles += uint64(cyc)
+
+	// Data switching activity on the operand/result buses relative
+	// to the previous instruction: the data-dependent term a linear
+	// macro-model cannot see.
+	sw := 0.5
+	if s.havePrev {
+		h := bits.OnesCount32(te.RsVal^s.prev.RsVal) +
+			bits.OnesCount32(te.RtVal^s.prev.RtVal) +
+			bits.OnesCount32(te.Result^s.prev.Result)
+		sw = float64(h) / 96
+	}
+	s.prev = *te
+	s.havePrev = true
+
+	for i := range s.activity {
+		s.activity[i] = 0
+	}
+	activity := s.activity
+
+	in := te.Instr
+	d := in.Def()
+
+	// Always-on blocks.
+	activity[idx[procgen.BlockClock]] = cyc
+	activity[idx[procgen.BlockPipeCtl]] = cyc
+	activity[idx[procgen.BlockFetch]] = cyc
+	activity[idx[procgen.BlockDecode]] = 1
+
+	// Front end.
+	if te.Uncached {
+		activity[idx[procgen.BlockBus]] += iss.UncachedFetchPenalty
+	} else {
+		a := 1
+		if te.ICMiss {
+			a += s.icPen
+			activity[idx[procgen.BlockBus]] += s.icPen
+		}
+		activity[idx[procgen.BlockICache]] = a
+	}
+
+	// Register file.
+	regfileActive := d.ReadsRs || d.ReadsRt || d.WritesRd
+	if in.IsCustom() {
+		if ci, err := e.proc.TIE.Instruction(in.CustomID); err == nil {
+			regfileActive = ci.AccessesGeneralRegfile()
+		}
+	}
+	if regfileActive {
+		activity[idx[procgen.BlockRegfile]] = 1
+	}
+
+	// Execution units and memory pipeline.
+	switch {
+	case in.IsCustom():
+		ci, err := e.proc.TIE.Instruction(in.CustomID)
+		if err != nil {
+			return err
+		}
+		for _, ci2 := range e.proc.TIE.ActiveByInstr[in.CustomID] {
+			activity[e.proc.CustomBlockBase+ci2] += ci.Latency
+		}
+	case isMult(in.Op):
+		if mi, ok := idx[procgen.BlockMult]; ok {
+			activity[mi] = d.Cycles
+		} else {
+			activity[idx[procgen.BlockALU]] = d.Cycles
+		}
+	case isShift(in.Op):
+		activity[idx[procgen.BlockShifter]] = 1
+	case d.Class == isa.ClassArith:
+		activity[idx[procgen.BlockALU]] = d.Cycles
+	case d.Class == isa.ClassBranch:
+		activity[idx[procgen.BlockALU]] = 1
+	case d.Class == isa.ClassLoad || d.Class == isa.ClassStore:
+		a := 1
+		if te.DCMiss {
+			a += s.dcPen
+			activity[idx[procgen.BlockBus]] += s.dcPen
+		}
+		activity[idx[procgen.BlockLSU]] = a
+		activity[idx[procgen.BlockDCache]] = a
+	}
+
+	// Base-to-custom side effect: custom hardware latched off the
+	// shared operand buses switches when base arithmetic drives them
+	// (paper Fig. 1 Example 1).
+	if !in.IsCustom() && d.Class == isa.ClassArith {
+		for _, ci2 := range e.proc.TIE.BusTapped {
+			activity[e.proc.CustomBlockBase+ci2]++
+		}
+	}
+
+	// Simulate every block for every cycle of this instruction.
+	pAct := pActiveNominal * (1 + e.tech.SwitchingWeight*(2*sw-1))
+	var entryPJ float64
+	for bi := range e.blocks {
+		bm := &e.blocks[bi]
+		act := activity[bi]
+		if act > cyc {
+			act = cyc
+		}
+		if act > 0 {
+			pj := s.simulateNets(bm.nets, act, pAct) * bm.activePJNet
+			s.perBlock[bi] += pj
+			entryPJ += pj
+		}
+		if idle := cyc - act; idle > 0 {
+			pj := s.simulateNets(bm.nets, idle, pIdle) * bm.idlePJNet
+			s.perBlock[bi] += pj
+			entryPJ += pj
+		}
+	}
+	if s.OnEntry != nil {
+		s.OnEntry(int(s.entries), uint64(cyc), entryPJ)
+	}
+	s.entries++
+	return nil
+}
+
+// simulateNets advances the toggle process of a net population for the
+// given number of cycles and returns the number of observed toggles.
+// This per-net work is what a gate-level power simulator fundamentally
+// does, and is what makes the reference path slow.
+func (s *StreamEstimator) simulateNets(nets, cycles int, p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	threshold := uint32(p * float64(1<<32-1))
+	toggles := 0
+	st := s.rng
+	for c := 0; c < cycles; c++ {
+		for n := 0; n < nets; n++ {
+			// xorshift32
+			st ^= st << 13
+			st ^= st >> 17
+			st ^= st << 5
+			if st < threshold {
+				toggles++
+			}
+		}
+	}
+	s.rng = st
+	return float64(toggles)
+}
+
+// Finish closes the pass and returns the accumulated report.
+func (s *StreamEstimator) Finish() (Report, error) {
+	if s.entries == 0 {
+		return Report{}, errors.New("rtlpower: empty trace (was the ISS run with CollectTrace or a TraceSink?)")
+	}
+	var total float64
+	for _, v := range s.perBlock {
+		total += v
+	}
+	return Report{TotalPJ: total, PerBlockPJ: s.perBlock, Cycles: s.cycles}, nil
+}
+
+// streamBatchBuffers bounds the number of trace batches in flight
+// between the simulator and the estimator in RunStreamed. Memory is
+// therefore capped at streamBatchBuffers*iss.TraceBatchSize entries per
+// run, independent of how many instructions retire.
+const streamBatchBuffers = 4
+
+// errStreamAborted is returned to the simulator's TraceSink once the
+// consumer has failed, so the run stops instead of simulating on.
+var errStreamAborted = errors.New("rtlpower: stream estimator failed; aborting simulation")
+
+// RunStreamed executes prog on sim while st estimates it concurrently:
+// the simulator's TraceSink copies each retired batch into one of a
+// fixed ring of buffers and hands it to a consumer goroutine over a
+// bounded channel, so simulation overlaps with per-net estimation and
+// the trace is never materialized. Batch boundaries do not affect the
+// estimate, so the result is deterministic and bit-identical to
+// EstimateTrace on the same run. Any CollectTrace/TraceSink already in
+// opts is overridden. The caller still owns st and must call Finish.
+func RunStreamed(sim *iss.Simulator, prog *iss.Program, opts iss.Options, st *StreamEstimator) (*iss.Result, error) {
+	free := make(chan []iss.TraceEntry, streamBatchBuffers)
+	for i := 0; i < streamBatchBuffers; i++ {
+		free <- make([]iss.TraceEntry, 0, iss.TraceBatchSize)
+	}
+	work := make(chan []iss.TraceEntry, streamBatchBuffers)
+
+	var (
+		consumeErr error
+		failed     atomic.Bool
+		done       = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		for b := range work {
+			if consumeErr == nil {
+				if err := st.Consume(b); err != nil {
+					consumeErr = err
+					failed.Store(true)
+				}
+			}
+			free <- b[:0]
+		}
+	}()
+
+	opts.CollectTrace = false
+	opts.TraceSink = func(batch []iss.TraceEntry) error {
+		if failed.Load() {
+			return errStreamAborted
+		}
+		buf := <-free
+		work <- append(buf, batch...)
+		return nil
+	}
+	res, runErr := sim.Run(prog, opts)
+	close(work)
+	<-done
+	if consumeErr != nil {
+		return nil, consumeErr
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
