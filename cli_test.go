@@ -114,6 +114,38 @@ func TestCLIXsimJSON(t *testing.T) {
 	}
 }
 
+func TestCLIXlint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests are slow")
+	}
+	out := runCLI(t, "./cmd/xlint", "-w", "rs_gffold")
+	if !strings.Contains(out, "clean") {
+		t.Fatalf("xlint on a clean workload:\n%s", out)
+	}
+	out = runCLI(t, "./cmd/xlint", "-energy-bounds", "-w", "gcd")
+	for _, want := range []string{"static energy bounds", "pJ/exec", "per-invocation", "per iteration"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("xlint -energy-bounds missing %q:\n%s", want, out)
+		}
+	}
+	out = runCLI(t, "./cmd/xlint", "-json", "-w", "rs_base")
+	for _, want := range []string{`"clean": true`, `"findings"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("xlint -json missing %q:\n%s", want, out)
+		}
+	}
+	// Findings make the exit status non-zero; go run flattens any failure
+	// to 1, so just assert failure plus the diagnostic on stdout.
+	cmd := exec.Command("go", "run", "./cmd/xlint", "-w", "tp01_alu_mix")
+	cliOut, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("xlint on a stress kernel should exit non-zero:\n%s", cliOut)
+	}
+	if !strings.Contains(string(cliOut), "dead-write") {
+		t.Fatalf("xlint stress-kernel output missing dead-write:\n%s", cliOut)
+	}
+}
+
 func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("examples are slow")

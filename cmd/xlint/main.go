@@ -1,0 +1,222 @@
+// Command xlint statically analyzes XT32+TIE programs: control-flow and
+// dataflow diagnostics (uninitialized reads, dead writes, unreachable
+// code, guaranteed interlocks, operand validity) and simulation-free
+// energy bounds from a fitted macro-model.
+//
+// Usage:
+//
+//	xlint -list                     list built-in workloads
+//	xlint -w <name>                 analyze a built-in workload
+//	xlint <file.s>                  assemble and analyze an assembly file (base ISA)
+//	xlint -energy-bounds -w <name>  static per-invocation energy bounds
+//	xlint -model fit.json ...       price bounds with a fitted model instead of unit coefficients
+//
+// Exit status: 0 when the program is clean (notes do not count), 1 when
+// any warning- or error-severity finding is reported, 2 on usage or
+// internal errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/workloads"
+	"xtenergy/internal/xlint"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xlint:", err)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	list := flag.Bool("list", false, "list built-in workloads")
+	name := flag.String("w", "", "analyze the named built-in workload")
+	asJSON := flag.Bool("json", false, "emit findings (and bounds) as JSON")
+	energy := flag.Bool("energy-bounds", false, "compute static per-invocation energy bounds")
+	modelPath := flag.String("model", "", "fitted macro-model JSON for -energy-bounds (default: unit coefficients)")
+	notes := flag.Bool("notes", false, "also print note-severity findings")
+	disable := flag.String("disable", "", "comma-separated finding codes to suppress")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			ext := "base"
+			if w.Ext != nil {
+				ext = "tie:" + w.Ext.Name
+			}
+			fmt.Printf("%-24s %s\n", w.Name, ext)
+		}
+		return 0, nil
+	}
+
+	var w core.Workload
+	switch {
+	case *name != "":
+		found := false
+		w, found = workloads.ByName(*name)
+		if !found {
+			return 2, fmt.Errorf("unknown workload %q (try -list)", *name)
+		}
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return 2, err
+		}
+		w = core.Workload{Name: flag.Arg(0), Source: string(src)}
+	default:
+		flag.Usage()
+		return 2, fmt.Errorf("need -list, -w <name>, or an assembly file")
+	}
+
+	proc, prog, err := w.Build(procgen.Default())
+	if err != nil {
+		return 2, err
+	}
+
+	var opts []xlint.Option
+	if *disable != "" {
+		opts = append(opts, xlint.Disable(strings.Split(*disable, ",")...))
+	}
+	rep := xlint.Analyze(prog, proc, opts...)
+
+	minSev := xlint.SevWarn
+	if *notes {
+		minSev = xlint.SevNote
+	}
+	shown := rep.Filter(minSev)
+
+	status := 0
+	if rep.Count(xlint.SevWarn) > 0 {
+		status = 1
+	}
+
+	if *energy {
+		return status, reportEnergy(rep, proc, *modelPath, *asJSON, shown)
+	}
+
+	if *asJSON {
+		return status, writeJSON(map[string]any{
+			"program":  prog.Name,
+			"findings": jsonFindings(shown),
+			"clean":    status == 0,
+		})
+	}
+	for _, f := range shown {
+		fmt.Printf("%s:%s\n", prog.Name, f)
+	}
+	if status == 0 {
+		fmt.Printf("%s: clean (%d instructions, %d blocks)\n",
+			prog.Name, len(prog.Code), len(rep.CFG.Blocks))
+	}
+	return status, nil
+}
+
+// loadModel returns the fitted model at path, or the unit model (every
+// coefficient 1.0 pJ) that prices bounds in "weighted events" when no
+// fit is supplied.
+func loadModel(path string) (*core.MacroModel, string, error) {
+	if path == "" {
+		m := &core.MacroModel{}
+		for i := range m.Coef {
+			m.Coef[i] = 1
+		}
+		return m, "unit", nil
+	}
+	m, err := core.LoadModel(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return m, path, nil
+}
+
+func reportEnergy(rep *xlint.Report, proc *procgen.Processor, modelPath string, asJSON bool, shown []xlint.Finding) error {
+	model, origin, err := loadModel(modelPath)
+	if err != nil {
+		return err
+	}
+	bounds, err := xlint.ComputeBounds(rep.CFG, proc)
+	if err != nil {
+		return err
+	}
+	path, pathErr := bounds.PathBounds(model)
+	blocks := bounds.BlockEnergy(model)
+
+	if asJSON {
+		out := map[string]any{
+			"program":  rep.Prog.Name,
+			"model":    origin,
+			"findings": jsonFindings(shown),
+		}
+		var bs []map[string]any
+		for i, b := range rep.CFG.Blocks {
+			bs = append(bs, map[string]any{
+				"block": i, "start_pc": b.Start, "end_pc": b.End,
+				"reachable": b.Reachable,
+				"lo_pj":     blocks[i].Lo, "hi_pj": blocks[i].Hi,
+			})
+		}
+		out["blocks"] = bs
+		if pathErr == nil {
+			var loops []map[string]any
+			for _, l := range path.Loops {
+				loops = append(loops, map[string]any{
+					"from_pc": l.FromPC, "header_pc": l.HeaderPC,
+					"per_iter_lo_pj": l.PerIter.Lo, "per_iter_hi_pj": l.PerIter.Hi,
+				})
+			}
+			out["acyclic_lo_pj"] = path.Acyclic.Lo
+			out["acyclic_hi_pj"] = path.Acyclic.Hi
+			out["loops"] = loops
+		} else {
+			out["path_error"] = pathErr.Error()
+		}
+		return writeJSON(out)
+	}
+
+	fmt.Printf("%s: static energy bounds (model: %s)\n", rep.Prog.Name, origin)
+	for i, b := range rep.CFG.Blocks {
+		mark := ""
+		if !b.Reachable {
+			mark = "  (unreachable)"
+		}
+		fmt.Printf("  block %2d  pc [%4d,%4d)  %12.2f .. %-12.2f pJ/exec%s\n",
+			i, b.Start, b.End, blocks[i].Lo, blocks[i].Hi, mark)
+	}
+	if pathErr != nil {
+		fmt.Printf("  per-invocation bound: %v\n", pathErr)
+		return nil
+	}
+	fmt.Printf("  per-invocation: %.2f .. %.2f pJ on acyclic paths\n",
+		path.Acyclic.Lo, path.Acyclic.Hi)
+	for _, l := range path.Loops {
+		fmt.Printf("    + n(pc %d -> pc %d) * [%.2f .. %.2f] pJ per iteration\n",
+			l.FromPC, l.HeaderPC, l.PerIter.Lo, l.PerIter.Hi)
+	}
+	return nil
+}
+
+func jsonFindings(fs []xlint.Finding) []map[string]any {
+	out := []map[string]any{}
+	for _, f := range fs {
+		out = append(out, map[string]any{
+			"code": f.Code, "severity": f.Sev.String(),
+			"pc": f.PC, "line": f.Line, "reg": f.Reg, "msg": f.Msg,
+		})
+	}
+	return out
+}
+
+func writeJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -20,6 +20,7 @@ import (
 	"xtenergy/internal/rtlpower"
 	"xtenergy/internal/tie"
 	"xtenergy/internal/workloads"
+	"xtenergy/internal/xlint"
 )
 
 const taps = 8
@@ -223,6 +224,16 @@ func main() {
 	fmt.Println("\nevaluating three custom-instruction candidates (no synthesis needed):")
 	fmt.Printf("%-10s %10s %12s %16s\n", "candidate", "cycles", "energy (uJ)", "EDP (uJ*kcyc)")
 	for _, w := range []core.Workload{firBase(), firMac(), firMac2()} {
+		// Gate each candidate on the static analyzer before pricing it:
+		// an uninitialized read or bad TIE operand would make the energy
+		// comparison meaningless.
+		proc, prog, err := w.Build(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := xlint.Analyze(prog, proc).Err(); err != nil {
+			log.Fatal(err)
+		}
 		est, err := cr.Model.EstimateWorkload(cfg, w)
 		if err != nil {
 			log.Fatal(err)

@@ -19,6 +19,7 @@ import (
 	"xtenergy/internal/regress"
 	"xtenergy/internal/rtlpower"
 	"xtenergy/internal/workloads"
+	"xtenergy/internal/xlint"
 )
 
 const n = 256
@@ -118,6 +119,16 @@ func main() {
 	fmt.Printf("\n%-12s %8s %12s %14s %8s\n", "kernel", "cycles", "est (uJ)", "ref (uJ)", "err")
 	var results []core.Estimate
 	for _, v := range []variant{{plain, branchLoop()}, {looped, hwLoop()}} {
+		// Static sanity gate: the hardware-loop variant in particular must
+		// pass the loop-option and zero-overhead-loop CFG checks before
+		// the energy numbers mean anything.
+		proc, prog, err := v.w.Build(v.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := xlint.Analyze(prog, proc).Err(); err != nil {
+			log.Fatal(err)
+		}
 		est, err := cr.Model.EstimateWorkload(v.cfg, v.w)
 		if err != nil {
 			log.Fatal(err)

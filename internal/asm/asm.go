@@ -42,6 +42,7 @@ import (
 // Assembler translates XT32 assembly source into executable programs.
 type Assembler struct {
 	custom map[string]customDef
+	checks []func(*iss.Program) error
 }
 
 type customDef struct {
@@ -49,15 +50,31 @@ type customDef struct {
 	imm bool // third operand is a small signed constant
 }
 
+// Option configures an Assembler.
+type Option func(*Assembler)
+
+// WithProgramCheck registers a validation pass that runs over every
+// successfully assembled program before Assemble returns it; a non-nil
+// error fails the assembly. This is how callers plug in analyses that
+// live above the assembler in the dependency graph (xlint.AsmCheck wraps
+// the static analyzer into this shape) without the assembler importing
+// them.
+func WithProgramCheck(check func(*iss.Program) error) Option {
+	return func(a *Assembler) { a.checks = append(a.checks, check) }
+}
+
 // New returns an assembler that recognizes the custom-instruction
 // mnemonics of comp (pass the result of tie.Compile; a base-only
 // compiled extension is fine).
-func New(comp *tie.Compiled) *Assembler {
+func New(comp *tie.Compiled, opts ...Option) *Assembler {
 	a := &Assembler{custom: make(map[string]customDef)}
 	if comp != nil && comp.Ext != nil {
 		for id, in := range comp.Ext.Instructions {
 			a.custom[in.Name] = customDef{id: uint8(id), imm: in.ImmOperand}
 		}
+	}
+	for _, opt := range opts {
+		opt(a)
 	}
 	return a
 }
@@ -80,9 +97,17 @@ type symbol struct {
 
 type sourceLine struct {
 	num    int
-	labels []string
+	labels []labelRef
 	op     string   // mnemonic or directive (with leading '.'), lower case
 	args   []string // comma-separated operand fields, trimmed
+}
+
+// labelRef remembers where a label was written, which may be an earlier
+// line than the instruction it attaches to — diagnostics about the label
+// itself (e.g. a duplicate) must point at the label's own line.
+type labelRef struct {
+	name string
+	line int
 }
 
 // Assemble translates src into a program named name.
@@ -97,24 +122,24 @@ func (a *Assembler) Assemble(name, src string) (*iss.Program, error) {
 	codeIdx := 0
 	dataCursor := int64(-1)
 	inData := false
-	define := func(ln *sourceLine, lbl string) error {
-		if _, dup := syms[lbl]; dup {
-			return &Error{name, ln.num, fmt.Sprintf("duplicate label %q", lbl)}
+	define := func(lbl labelRef) error {
+		if _, dup := syms[lbl.name]; dup {
+			return &Error{name, lbl.line, fmt.Sprintf("duplicate label %q", lbl.name)}
 		}
 		if inData {
 			if dataCursor < 0 {
-				return &Error{name, ln.num, "data label before .data directive"}
+				return &Error{name, lbl.line, "data label before .data directive"}
 			}
-			syms[lbl] = symbol{value: dataCursor}
+			syms[lbl.name] = symbol{value: dataCursor}
 		} else {
-			syms[lbl] = symbol{value: int64(codeIdx), isCode: true}
+			syms[lbl.name] = symbol{value: int64(codeIdx), isCode: true}
 		}
 		return nil
 	}
 	for i := range lines {
 		ln := &lines[i]
 		for _, lbl := range ln.labels {
-			if err := define(ln, lbl); err != nil {
+			if err := define(lbl); err != nil {
 				return nil, err
 			}
 		}
@@ -261,6 +286,7 @@ func (a *Assembler) Assemble(name, src string) (*iss.Program, error) {
 			return nil, err
 		}
 		prog.Code = append(prog.Code, in)
+		prog.Lines = append(prog.Lines, ln.num)
 		uncachedFlags = append(uncachedFlags, uncached)
 	}
 
@@ -287,7 +313,48 @@ func (a *Assembler) Assemble(name, src string) (*iss.Program, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
+	if err := checkTargets(prog); err != nil {
+		return nil, err
+	}
+	for _, check := range a.checks {
+		if err := check(prog); err != nil {
+			return nil, err
+		}
+	}
 	return prog, nil
+}
+
+// checkTargets verifies that every statically known control-flow target
+// lands inside the program: branch and jump destinations in [0, n]
+// (index n is the fall-off-the-end halt) and zero-overhead loop ends in
+// (pc+1, n]. The simulator faults at runtime on these; catching them at
+// assembly time turns a mid-simulation error into a file:line diagnostic.
+func checkTargets(prog *iss.Program) error {
+	n := len(prog.Code)
+	bad := func(i int, format string, args ...any) error {
+		return &Error{prog.Name, prog.Line(i), fmt.Sprintf(format, args...)}
+	}
+	for i, in := range prog.Code {
+		d, ok := isa.Lookup(in.Op)
+		if !ok {
+			continue
+		}
+		switch {
+		case in.Op == isa.OpLOOP || in.Op == isa.OpLOOPNEZ:
+			if end := i + 1 + int(in.Imm); end <= i+1 || end > n {
+				return bad(i, "%s end %d out of range (%d,%d]", in.Op.Name(), end, i+1, n)
+			}
+		case d.Format == isa.FormatBranchRR || d.Format == isa.FormatBranchRI || d.Format == isa.FormatBranchR:
+			if t := i + 1 + int(in.Imm); t < 0 || t > n {
+				return bad(i, "%s target %d out of range [0,%d]", in.Op.Name(), t, n)
+			}
+		case d.Format == isa.FormatJump:
+			if t := int(in.Imm); t < 0 || t > n {
+				return bad(i, "%s target %d out of range [0,%d]", in.Op.Name(), t, n)
+			}
+		}
+	}
+	return nil
 }
 
 func needData(ln *sourceLine, name string, inData bool, cursor int64) error {
@@ -539,7 +606,7 @@ func parseNumber(args []string, ln *sourceLine, name string) (int64, error) {
 // scan tokenizes the source into logical lines.
 func scan(name, src string) ([]sourceLine, error) {
 	var out []sourceLine
-	var pendingLabels []string
+	var pendingLabels []labelRef
 	for num, raw := range strings.Split(src, "\n") {
 		line := stripComment(raw)
 		line = strings.TrimSpace(line)
@@ -555,7 +622,7 @@ func scan(name, src string) ([]sourceLine, error) {
 			if !isIdent(lbl) {
 				return nil, &Error{name, lineNum, fmt.Sprintf("invalid label %q", lbl)}
 			}
-			pendingLabels = append(pendingLabels, lbl)
+			pendingLabels = append(pendingLabels, labelRef{name: lbl, line: lineNum})
 			line = strings.TrimSpace(line[idx+1:])
 		}
 		if line == "" {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"xtenergy/internal/asm"
+	"xtenergy/internal/isa"
 	"xtenergy/internal/iss"
 	"xtenergy/internal/procgen"
 )
@@ -143,16 +144,25 @@ func TestLoopBadTarget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A backward loop target is malformed.
-	prog, err := asm.New(proc.TIE).Assemble("t", `
+	// A backward loop target is malformed: the assembler rejects it
+	// outright with a source diagnostic.
+	_, err = asm.New(proc.TIE).Assemble("t", `
 back:
     movi a2, 3
     loop a2, back
     ret
 `)
-	if err != nil {
-		t.Fatal(err)
+	if err == nil {
+		t.Fatal("backward loop target assembled")
 	}
+
+	// A hand-built image with the same defect still faults at runtime
+	// (the simulator's own guard, independent of the assembler).
+	prog := &iss.Program{Name: "badloop", Code: []isa.Instr{
+		{Op: isa.OpMOVI, Rd: 2, Imm: 3},
+		{Op: isa.OpLOOP, Rs: 2, Imm: -2},
+		{Op: isa.OpRET},
+	}}
 	if _, err := iss.New(proc).Run(prog, iss.Options{}); err == nil {
 		t.Fatal("backward loop target accepted")
 	}

@@ -47,6 +47,20 @@ type Program struct {
 	// Labels maps code labels to their instruction index (populated by
 	// the assembler; used for region-level energy profiling).
 	Labels map[string]int
+	// Lines maps each instruction index to its 1-based source line
+	// (populated by the assembler; used by diagnostics such as xlint).
+	// Nil means no source information; otherwise it must have the same
+	// length as Code.
+	Lines []int
+}
+
+// Line returns the 1-based source line of instruction index i, or 0 when
+// no source information is available.
+func (p *Program) Line(i int) int {
+	if p.Lines == nil || i < 0 || i >= len(p.Lines) {
+		return 0
+	}
+	return p.Lines[i]
 }
 
 // Validate checks structural invariants of the program image.
@@ -59,6 +73,9 @@ func (p *Program) Validate() error {
 	}
 	if p.Uncached != nil && len(p.Uncached) != len(p.Code) {
 		return fmt.Errorf("iss: program %q has %d uncached flags for %d instructions", p.Name, len(p.Uncached), len(p.Code))
+	}
+	if p.Lines != nil && len(p.Lines) != len(p.Code) {
+		return fmt.Errorf("iss: program %q has %d source lines for %d instructions", p.Name, len(p.Lines), len(p.Code))
 	}
 	for i, in := range p.Code {
 		if _, ok := isa.Lookup(in.Op); !ok {

@@ -34,8 +34,23 @@ type Options struct {
 	// reference estimator) at O(1) memory regardless of run length, and
 	// may be combined with CollectTrace.
 	TraceSink func(batch []TraceEntry) error
+	// RecordUninitReads tracks which general registers have been written
+	// (the link register a0 counts as written: reset initializes it to
+	// the halt sentinel) and records every architectural read of a
+	// never-written register in Result.UninitReads, deduplicated per
+	// (pc, register). It is the dynamic ground truth the xlint static
+	// initialization analysis is validated against.
+	RecordUninitReads bool
 	// MaxCycles aborts runaway programs; 0 means the default (200M).
 	MaxCycles uint64
+}
+
+// UninitRead records one dynamic read of a never-written register.
+type UninitRead struct {
+	// PC is the word index of the reading instruction.
+	PC int
+	// Reg is the register number that was read before any write.
+	Reg uint8
 }
 
 // TraceBatchSize is the number of retired instructions delivered per
@@ -57,6 +72,10 @@ type Result struct {
 	// TIE is the final custom state (nil when the processor has no
 	// extension or no custom registers).
 	TIE *tie.State
+	// UninitReads lists reads of never-written registers, one entry per
+	// distinct (pc, register) pair in first-occurrence order (nil unless
+	// Options.RecordUninitReads was set).
+	UninitReads []UninitRead
 }
 
 // Simulator executes XT32 programs on a generated processor instance.
@@ -79,6 +98,14 @@ type Simulator struct {
 	// run; batch is the reusable fixed-size delivery buffer.
 	sink  func(batch []TraceEntry) error
 	batch []TraceEntry
+
+	// Uninitialized-read tracking (Options.RecordUninitReads): written is
+	// the bitmask of registers written so far, uninit the recorded reads,
+	// and uninitSeen deduplicates per (pc, register).
+	trackInit  bool
+	written    uint64
+	uninit     []UninitRead
+	uninitSeen map[int]uint64
 
 	// Zero-overhead loop state (the configurable loop option): when
 	// loopActive and execution reaches loopEnd, control returns to
@@ -123,6 +150,10 @@ func (s *Simulator) Run(prog *Program, opts Options) (*Result, error) {
 		}
 		s.batch = s.batch[:0]
 	}
+	s.trackInit = opts.RecordUninitReads
+	if s.trackInit {
+		s.uninitSeen = make(map[int]uint64)
+	}
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = DefaultMaxCycles
@@ -156,12 +187,18 @@ func (s *Simulator) Run(prog *Program, opts Options) (*Result, error) {
 		s.batch = s.batch[:0]
 	}
 
-	res := &Result{Stats: s.stats, Trace: s.trace, Regs: s.regs}
+	res := &Result{Stats: s.stats, Trace: s.trace, Regs: s.regs, UninitReads: s.uninit}
 	if s.tie != nil {
 		res.TIE = s.tie.Clone()
 	}
 	return res, nil
 }
+
+// UninitReads returns the uninitialized-register reads recorded during
+// the most recent Run with Options.RecordUninitReads — including runs
+// that ended in an error, for which Run returns no Result (the recorded
+// prefix up to the fault is still meaningful to differential tests).
+func (s *Simulator) UninitReads() []UninitRead { return s.uninit }
 
 func (s *Simulator) reset(prog *Program) {
 	s.prog = prog
@@ -177,6 +214,9 @@ func (s *Simulator) reset(prog *Program) {
 	s.dc.Reset()
 	s.pipe.Reset()
 	s.loopActive = false
+	s.written = 1 << 0 // a0 holds the halt sentinel from reset
+	s.uninit = nil
+	s.uninitSeen = nil
 	s.stats = Stats{}
 	if n := s.proc.TIE.NumInstructions(); n > 0 {
 		s.stats.CustomExec = make([]uint64, n)
@@ -190,7 +230,7 @@ func (s *Simulator) reset(prog *Program) {
 // step retires the instruction at pc and returns the next pc.
 func (s *Simulator) step(pc int, collect bool) (next int, halt bool, err error) {
 	in := s.prog.Code[pc]
-	d := in.Def()
+	u := RegUseOf(s.proc.TIE, in)
 
 	var te TraceEntry
 	cycles := 0
@@ -213,15 +253,14 @@ func (s *Simulator) step(pc int, collect bool) (next int, halt bool, err error) 
 	}
 
 	// --- Interlock detection ---
-	customRs, customRt := s.customRegReads(in)
 	stall := s.pipe.Interlock(pipeline.Use{
-		ReadsRs:  d.ReadsRs || customRs,
-		ReadsRt:  d.ReadsRt || customRt,
+		ReadsRs:  u.ReadsRs,
+		ReadsRt:  u.ReadsRt,
 		Rs:       in.Rs,
 		Rt:       in.Rt,
-		IsLoad:   d.Class == isa.ClassLoad,
-		IsMult:   in.Op == isa.OpMUL || in.Op == isa.OpMULH || in.Op == isa.OpMULHU,
-		WritesRd: d.WritesRd || s.customWritesGeneral(in),
+		IsLoad:   u.IsLoad,
+		IsMult:   u.IsMult,
+		WritesRd: u.WritesRd,
 		Rd:       in.Rd,
 	})
 	if stall > 0 {
@@ -234,6 +273,18 @@ func (s *Simulator) step(pc int, collect bool) (next int, halt bool, err error) 
 	// --- Execute ---
 	s.stats.Retired++
 	s.stats.OpcodeExec[in.Op]++
+
+	if s.trackInit {
+		if unread := u.Reads &^ s.written &^ s.uninitSeen[pc]; unread != 0 {
+			s.uninitSeen[pc] |= unread
+			for r := 0; r < isa.NumRegs; r++ {
+				if unread&(1<<r) != 0 {
+					s.uninit = append(s.uninit, UninitRead{PC: pc, Reg: uint8(r)})
+				}
+			}
+		}
+		s.written |= u.Writes
+	}
 
 	if in.IsCustom() {
 		n, err := s.execCustom(in, &te)
@@ -273,31 +324,6 @@ func (s *Simulator) loopBack(next int) int {
 		s.loopActive = false
 	}
 	return next
-}
-
-// customRegReads reports which general-register operand fields a custom
-// instruction actually reads. For the immediate form, the Rt field
-// carries a 6-bit signed constant (see execCustom), not a register
-// number, so it must not arm the interlock comparator: treating it as a
-// register read produced phantom interlock stalls whenever the constant
-// happened to equal the previous load/mult destination, inflating N_ilk.
-func (s *Simulator) customRegReads(in isa.Instr) (rs, rt bool) {
-	if !in.IsCustom() {
-		return false, false
-	}
-	ci, err := s.proc.TIE.Instruction(in.CustomID)
-	if err != nil || !ci.ReadsGeneral {
-		return false, false
-	}
-	return true, !ci.ImmOperand
-}
-
-func (s *Simulator) customWritesGeneral(in isa.Instr) bool {
-	if !in.IsCustom() {
-		return false
-	}
-	ci, err := s.proc.TIE.Instruction(in.CustomID)
-	return err == nil && ci.WritesGeneral
 }
 
 // execCustom executes a TIE instruction and returns its cycle cost.

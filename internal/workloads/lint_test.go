@@ -1,0 +1,48 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/workloads"
+	"xtenergy/internal/xlint"
+)
+
+// TestWorkloadsLintClean sweeps the static analyzer over every
+// registered workload: the corpus must analyze with no finding at
+// warning severity or above. Notes (guaranteed interlocks) are allowed —
+// several kernels deliberately keep a load-use pair when unrolling would
+// cost more than the stall.
+//
+// The characterization suite is exempt from the two dataflow checks:
+// its stress kernels intentionally write ALU-toggling results nobody
+// reads and read reset-zero scratch registers (defined behavior on this
+// core — the register file resets to zero). Every structural check
+// (operand ranges, TIE validity, control-flow targets, option gating,
+// reachability) still applies to them.
+func TestWorkloadsLintClean(t *testing.T) {
+	cfg := procgen.Default()
+	stress := make(map[string]bool)
+	for _, w := range workloads.CharacterizationSuite() {
+		stress[w.Name] = true
+	}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			proc, prog, err := w.Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var opts []xlint.Option
+			if stress[w.Name] {
+				opts = append(opts, xlint.Disable("dead-write", "uninit-read"))
+			}
+			rep := xlint.Analyze(prog, proc, opts...)
+			for _, f := range rep.Findings {
+				if f.Sev >= xlint.SevWarn {
+					t.Errorf("%s", f)
+				}
+			}
+		})
+	}
+}

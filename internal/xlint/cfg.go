@@ -1,0 +1,335 @@
+package xlint
+
+import (
+	"sort"
+
+	"xtenergy/internal/isa"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/tie"
+)
+
+// ExitID is the virtual exit node: the target of halting control flow
+// (falling off the end of code, RET/JX through the halt sentinel, or any
+// transfer to instruction index len(Code)).
+const ExitID = -1
+
+// EdgeKind classifies a CFG edge by the control-flow mechanism that
+// takes it. The kind determines whether pipeline hazards can carry
+// across the edge: only Fall and LoopBack edges retire the predecessor
+// block's last instruction immediately before the successor's first with
+// no intervening front-end flush.
+type EdgeKind uint8
+
+const (
+	// EdgeFall is sequential flow into the next block: the predecessor
+	// ends because the successor's first instruction is a leader, not
+	// because of a control transfer (this includes LOOP/LOOPNEZ entering
+	// their body).
+	EdgeFall EdgeKind = iota
+	// EdgeTaken is a taken conditional branch (2-cycle redirect, flush).
+	EdgeTaken
+	// EdgeUntaken is the fallthrough of an untaken conditional branch.
+	EdgeUntaken
+	// EdgeJump is a direct jump or call (J, CALL).
+	EdgeJump
+	// EdgeIndirect is an indirect transfer (JX, CALLX, RET) to a
+	// statically over-approximated target.
+	EdgeIndirect
+	// EdgeLoopBack is the zero-overhead loop-back redirect from an edge
+	// that reaches a loop's end address (no flush, no penalty).
+	EdgeLoopBack
+	// EdgeLoopSkip is LOOPNEZ skipping a zero-trip body (flush).
+	EdgeLoopSkip
+)
+
+var edgeKindNames = [...]string{
+	"fall", "taken", "untaken", "jump", "indirect", "loopback", "loopskip",
+}
+
+func (k EdgeKind) String() string {
+	if int(k) < len(edgeKindNames) {
+		return edgeKindNames[k]
+	}
+	return "edge(?)"
+}
+
+// CarriesHazard reports whether a pipeline hazard armed by the
+// predecessor block's last instruction can stall the successor's first:
+// true only for edges with no front-end flush originating from an
+// instruction that can be a load or multiply (loads and multiplies never
+// redirect, so only sequential and loop-back edges qualify).
+func (k EdgeKind) CarriesHazard() bool {
+	return k == EdgeFall || k == EdgeLoopBack
+}
+
+// Edge is one directed CFG edge. To is ExitID for the virtual exit.
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+}
+
+// Block is one basic block: the half-open instruction range
+// [Start, End). Blocks partition the full code array, including
+// statically unreachable regions.
+type Block struct {
+	ID         int
+	Start, End int
+	Succs      []Edge
+	Preds      []Edge
+	// Reachable reports whether the block is reachable from the entry
+	// block along CFG edges.
+	Reachable bool
+}
+
+// Loop is one static zero-overhead loop: the LOOP/LOOPNEZ at At, its
+// body [Begin, End).
+type Loop struct {
+	At, Begin, End int
+}
+
+// CFG is the basic-block control-flow graph of a program.
+type CFG struct {
+	Prog   *iss.Program
+	Blocks []*Block
+	Loops  []Loop
+	// IndirectTargets is the over-approximated target set of JX/CALLX:
+	// every code label plus every call return site. Sound for the
+	// corpus's call/return idiom (call f; ... f: ...; jx a0).
+	IndirectTargets []int
+	// ReturnSites is the instruction index after each CALL/CALLX — the
+	// only addresses a call ever writes into a0. When no other
+	// instruction clobbers a0, RET's target set shrinks to these plus
+	// the halt sentinel.
+	ReturnSites []int
+
+	byPC []int // instruction index -> block ID
+}
+
+// BlockAt returns the block containing instruction index pc (nil when
+// out of range).
+func (c *CFG) BlockAt(pc int) *Block {
+	if pc < 0 || pc >= len(c.byPC) {
+		return nil
+	}
+	return c.Blocks[c.byPC[pc]]
+}
+
+// Entry returns the entry block.
+func (c *CFG) Entry() *Block { return c.BlockAt(c.Prog.Entry) }
+
+// BuildCFG constructs the basic-block graph of prog. The compiled TIE
+// extension refines the indirect-target analysis (whether a custom
+// instruction can write the link register); it may be nil, in which
+// case custom instructions are treated conservatively. Control-flow
+// targets outside [0, len(Code)] produce no edge — Analyze flags them
+// as errors separately — so the graph is always well formed.
+func BuildCFG(prog *iss.Program, comp *tie.Compiled) *CFG {
+	n := len(prog.Code)
+	cfg := &CFG{Prog: prog, byPC: make([]int, n)}
+
+	// Indirect-target over-approximation: labels and call return sites.
+	seen := make(map[int]bool)
+	for _, pc := range prog.Labels {
+		if pc >= 0 && pc < n && !seen[pc] {
+			seen[pc] = true
+			cfg.IndirectTargets = append(cfg.IndirectTargets, pc)
+		}
+	}
+
+	leader := make([]bool, n+1)
+	mark := func(pc int) {
+		if pc >= 0 && pc < n {
+			leader[pc] = true
+		}
+	}
+	mark(0)
+	mark(prog.Entry)
+	for pc, in := range prog.Code {
+		d, ok := isa.Lookup(in.Op)
+		if !ok {
+			continue
+		}
+		switch {
+		case in.Op == isa.OpLOOP || in.Op == isa.OpLOOPNEZ:
+			begin, end := pc+1, pc+1+int(in.Imm)
+			mark(begin)
+			mark(end)
+			if end > pc+1 && end <= n {
+				cfg.Loops = append(cfg.Loops, Loop{At: pc, Begin: begin, End: end})
+			}
+		case d.Format == isa.FormatBranchRR || d.Format == isa.FormatBranchRI || d.Format == isa.FormatBranchR:
+			mark(pc + 1 + int(in.Imm))
+			mark(pc + 1)
+		case in.Op == isa.OpJ:
+			mark(int(in.Imm))
+			mark(pc + 1)
+		case in.Op == isa.OpCALL, in.Op == isa.OpCALLX:
+			if in.Op == isa.OpCALL {
+				mark(int(in.Imm))
+			}
+			mark(pc + 1) // return site
+			if t := pc + 1; t < n {
+				cfg.ReturnSites = append(cfg.ReturnSites, t)
+				if !seen[t] {
+					seen[t] = true
+					cfg.IndirectTargets = append(cfg.IndirectTargets, t)
+				}
+			}
+		case in.Op == isa.OpJX || in.Op == isa.OpRET:
+			mark(pc + 1)
+		}
+	}
+	for _, pc := range cfg.IndirectTargets {
+		mark(pc)
+	}
+	sort.Ints(cfg.IndirectTargets)
+	sort.Ints(cfg.ReturnSites)
+
+	// RET target refinement: a0 starts as the halt sentinel and calls
+	// overwrite it with their return site. Unless some other instruction
+	// can clobber a0, a RET goes to a return site or the exit — never to
+	// an arbitrary label.
+	retTargets := cfg.ReturnSites
+	for _, in := range prog.Code {
+		if in.Op == isa.OpCALL || in.Op == isa.OpCALLX {
+			continue
+		}
+		clobbers := iss.RegUseOf(comp, in).Writes&1 != 0
+		if in.IsCustom() && comp == nil && in.Rd == 0 {
+			clobbers = true // unknown extension: assume the worst
+		}
+		if clobbers {
+			retTargets = cfg.IndirectTargets
+			break
+		}
+	}
+
+	// Cut blocks at leaders.
+	start := 0
+	for pc := 1; pc <= n; pc++ {
+		if pc == n || leader[pc] {
+			b := &Block{ID: len(cfg.Blocks), Start: start, End: pc}
+			cfg.Blocks = append(cfg.Blocks, b)
+			for i := start; i < pc; i++ {
+				cfg.byPC[i] = b.ID
+			}
+			start = pc
+		}
+	}
+
+	// Successor edges.
+	loopEnds := make(map[int][]Loop) // end pc -> loops ending there
+	for _, l := range cfg.Loops {
+		loopEnds[l.End] = append(loopEnds[l.End], l)
+	}
+	addEdge := func(b *Block, toPC int, kind EdgeKind) {
+		if toPC < 0 || toPC > n {
+			return // invalid static target: flagged by checks, no edge
+		}
+		to := ExitID
+		if toPC < n {
+			to = cfg.byPC[toPC]
+		}
+		b.Succs = append(b.Succs, Edge{From: b.ID, To: to, Kind: kind})
+		// The zero-overhead loop hardware redirects any transfer that
+		// reaches a loop end back to the loop begin while iterations
+		// remain; model it as an additional edge (a loop may legally end
+		// at index n, so this applies to exit-bound edges too).
+		if kind != EdgeLoopBack {
+			for _, l := range loopEnds[toPC] {
+				b.Succs = append(b.Succs, Edge{From: b.ID, To: cfg.byPC[l.Begin], Kind: EdgeLoopBack})
+			}
+		}
+	}
+	for _, b := range cfg.Blocks {
+		last := b.End - 1
+		in := prog.Code[last]
+		d, ok := isa.Lookup(in.Op)
+		if !ok {
+			addEdge(b, b.End, EdgeFall)
+			continue
+		}
+		switch {
+		case in.Op == isa.OpLOOP:
+			addEdge(b, b.End, EdgeFall)
+		case in.Op == isa.OpLOOPNEZ:
+			addEdge(b, b.End, EdgeFall)
+			addEdge(b, last+1+int(in.Imm), EdgeLoopSkip)
+		case d.Format == isa.FormatBranchRR || d.Format == isa.FormatBranchRI || d.Format == isa.FormatBranchR:
+			addEdge(b, last+1+int(in.Imm), EdgeTaken)
+			addEdge(b, b.End, EdgeUntaken)
+		case in.Op == isa.OpJ || in.Op == isa.OpCALL:
+			addEdge(b, int(in.Imm), EdgeJump)
+		case in.Op == isa.OpJX || in.Op == isa.OpRET:
+			targets := cfg.IndirectTargets
+			if in.Op == isa.OpRET {
+				targets = retTargets
+			}
+			for _, t := range targets {
+				addEdge(b, t, EdgeIndirect)
+			}
+			addEdge(b, n, EdgeIndirect) // halt through the sentinel
+		case in.Op == isa.OpCALLX:
+			for _, t := range cfg.IndirectTargets {
+				addEdge(b, t, EdgeIndirect)
+			}
+		default:
+			addEdge(b, b.End, EdgeFall)
+		}
+	}
+
+	// Predecessor lists and reachability.
+	for _, b := range cfg.Blocks {
+		for _, e := range b.Succs {
+			if e.To != ExitID {
+				cfg.Blocks[e.To].Preds = append(cfg.Blocks[e.To].Preds, e)
+			}
+		}
+	}
+	var visit func(id int)
+	visit = func(id int) {
+		b := cfg.Blocks[id]
+		if b.Reachable {
+			return
+		}
+		b.Reachable = true
+		for _, e := range b.Succs {
+			if e.To != ExitID {
+				visit(e.To)
+			}
+		}
+	}
+	if n > 0 {
+		visit(cfg.byPC[prog.Entry])
+	}
+	return cfg
+}
+
+// ReversePostorder returns the reachable blocks in reverse postorder of
+// a depth-first traversal from the entry — the canonical iteration order
+// for forward dataflow.
+func (c *CFG) ReversePostorder() []*Block {
+	var post []*Block
+	state := make([]uint8, len(c.Blocks)) // 0 unvisited, 1 on stack, 2 done
+	var dfs func(id int)
+	dfs = func(id int) {
+		if state[id] != 0 {
+			return
+		}
+		state[id] = 1
+		for _, e := range c.Blocks[id].Succs {
+			if e.To != ExitID {
+				dfs(e.To)
+			}
+		}
+		state[id] = 2
+		post = append(post, c.Blocks[id])
+	}
+	if len(c.Blocks) > 0 {
+		dfs(c.Entry().ID)
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

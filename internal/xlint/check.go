@@ -1,0 +1,118 @@
+package xlint
+
+import (
+	"xtenergy/internal/isa"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+)
+
+// checkInstructions validates every instruction in isolation: register
+// encodings the simulator would panic on, custom-instruction IDs and
+// operand fields against the compiled TIE extension, configuration
+// options the instruction requires, and static control-flow targets.
+// These run over the whole code array (reachable or not): an invalid
+// encoding is wrong wherever it sits.
+func checkInstructions(r *Report, proc *procgen.Processor) {
+	prog := r.Prog
+	n := len(prog.Code)
+	comp := proc.TIE
+	for pc, in := range prog.Code {
+		if in.IsCustom() {
+			ci, err := comp.Instruction(in.CustomID)
+			if err != nil {
+				r.add("tie-undefined", SevError, pc, -1,
+					"custom instruction id %d is not defined by the compiled extension", in.CustomID)
+				continue
+			}
+			// The simulator indexes the register file with exactly these
+			// fields; out-of-range encodings panic.
+			if ci.ReadsGeneral && int(in.Rs) >= isa.NumRegs {
+				r.add("reg-range", SevError, pc, int(in.Rs),
+					"%s reads rs field a%d beyond the %d-entry register file", ci.Name, in.Rs, isa.NumRegs)
+			}
+			if ci.ReadsGeneral && !ci.ImmOperand && int(in.Rt) >= isa.NumRegs {
+				r.add("reg-range", SevError, pc, int(in.Rt),
+					"%s reads rt field a%d beyond the %d-entry register file", ci.Name, in.Rt, isa.NumRegs)
+			}
+			if ci.WritesGeneral && int(in.Rd) >= isa.NumRegs {
+				r.add("reg-range", SevError, pc, int(in.Rd),
+					"%s writes rd field a%d beyond the %d-entry register file", ci.Name, in.Rd, isa.NumRegs)
+			}
+			// The immediate form decodes a 6-bit signed constant from the
+			// Rt field; higher bits are silently truncated by the decoder.
+			if ci.ImmOperand && in.Rt >= 1<<6 {
+				r.add("tie-operand", SevError, pc, -1,
+					"%s immediate field %#x overflows the 6-bit operand encoding", ci.Name, in.Rt)
+			}
+			continue
+		}
+
+		d, ok := isa.Lookup(in.Op)
+		if !ok {
+			r.add("tie-undefined", SevError, pc, -1, "invalid opcode %d", in.Op)
+			continue
+		}
+		// The base execution path unconditionally latches regs[Rs] and
+		// regs[Rt] onto the operand buses, so those fields must encode
+		// valid registers even when unused; Rd is indexed only when the
+		// instruction reads or writes it architecturally.
+		u := iss.RegUseOf(comp, in)
+		if int(in.Rs) >= isa.NumRegs {
+			r.add("reg-range", SevError, pc, int(in.Rs),
+				"%s rs field a%d beyond the %d-entry register file", d.Name, in.Rs, isa.NumRegs)
+		}
+		if int(in.Rt) >= isa.NumRegs {
+			r.add("reg-range", SevError, pc, int(in.Rt),
+				"%s rt field a%d beyond the %d-entry register file", d.Name, in.Rt, isa.NumRegs)
+		}
+		if int(in.Rd) >= isa.NumRegs && (u.WritesRd || readsRdField(in.Op)) {
+			r.add("reg-range", SevError, pc, int(in.Rd),
+				"%s rd field a%d beyond the %d-entry register file", d.Name, in.Rd, isa.NumRegs)
+		}
+
+		switch in.Op {
+		case isa.OpLOOP, isa.OpLOOPNEZ:
+			if !proc.Config.HasLoops {
+				r.add("loop-option", SevError, pc, -1,
+					"%s requires the zero-overhead loop option (Config.HasLoops)", d.Name)
+			}
+			if end := pc + 1 + int(in.Imm); end <= pc+1 || end > n {
+				r.add("invalid-target", SevError, pc, -1,
+					"%s end %d out of range (%d,%d]", d.Name, end, pc+1, n)
+			}
+		case isa.OpMUL, isa.OpMULH, isa.OpMULHU:
+			if !proc.Config.HasMul32 {
+				r.add("mul-option", SevWarn, pc, -1,
+					"%s on a core without the 32-bit multiplier option (Config.HasMul32)", d.Name)
+			}
+		}
+		switch d.Format {
+		case isa.FormatBranchRR, isa.FormatBranchRI, isa.FormatBranchR:
+			if in.Op == isa.OpLOOP || in.Op == isa.OpLOOPNEZ {
+				break // validated above with the loop-specific range
+			}
+			if t := pc + 1 + int(in.Imm); t < 0 || t > n {
+				r.add("invalid-target", SevError, pc, -1,
+					"%s target %d out of range [0,%d]", d.Name, t, n)
+			}
+		case isa.FormatJump:
+			if t := int(in.Imm); t < 0 || t > n {
+				r.add("invalid-target", SevError, pc, -1,
+					"%s target %d out of range [0,%d]", d.Name, t, n)
+			}
+		}
+	}
+}
+
+// readsRdField reports whether the base instruction architecturally
+// reads its Rd field (store data registers and conditional-move old
+// values), which makes an out-of-range Rd fatal even though WritesRd is
+// false or the register-use bitmask cannot represent the overflow.
+func readsRdField(op isa.Opcode) bool {
+	switch op {
+	case isa.OpS8I, isa.OpS16I, isa.OpS32I,
+		isa.OpMOVEQZ, isa.OpMOVNEZ, isa.OpMOVLTZ, isa.OpMOVGEZ:
+		return true
+	}
+	return false
+}

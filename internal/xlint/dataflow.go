@@ -1,0 +1,178 @@
+package xlint
+
+import (
+	"xtenergy/internal/isa"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+)
+
+// Register sets are uint64 bitmasks over the 64 general registers,
+// matching iss.RegUse.
+
+// allRegs has every register bit set.
+const allRegs = ^uint64(0)
+
+// entryInit is the register set initialized by processor reset: the
+// link register a0 holds the halt sentinel.
+const entryInit = uint64(1) << 0
+
+// analyzeInit runs the forward initialization dataflow: must-init
+// (intersection over predecessors — definitely written on every path)
+// and may-init (union — written on at least one path). A read of a
+// register outside may-init reads the reset value on every path
+// (definite, error); inside may but outside must, on some path
+// (warning). Only reachable blocks are analyzed — code that cannot
+// execute cannot read anything.
+func analyzeInit(r *Report, proc *procgen.Processor) {
+	cfg := r.CFG
+	comp := proc.TIE
+	nb := len(cfg.Blocks)
+	if nb == 0 {
+		return
+	}
+
+	// Per-block transfer: out = in | writes (reads don't change facts).
+	writes := make([]uint64, nb)
+	for _, b := range cfg.Blocks {
+		var w uint64
+		for pc := b.Start; pc < b.End; pc++ {
+			w |= iss.RegUseOf(comp, cfg.Prog.Code[pc]).Writes
+		}
+		writes[b.ID] = w
+	}
+
+	mustIn := make([]uint64, nb)
+	mayIn := make([]uint64, nb)
+	for i := range mustIn {
+		mustIn[i] = allRegs // top for the intersection lattice
+	}
+	entry := cfg.Entry().ID
+	mustIn[entry], mayIn[entry] = entryInit, entryInit
+
+	order := cfg.ReversePostorder()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			must, may := allRegs, uint64(0)
+			if b.ID == entry {
+				// Reset state joins any looping predecessors.
+				must, may = entryInit, entryInit
+			}
+			for _, e := range b.Preds {
+				p := cfg.Blocks[e.From]
+				if !p.Reachable {
+					continue
+				}
+				must &= mustIn[p.ID] | writes[p.ID]
+				may |= mayIn[p.ID] | writes[p.ID]
+			}
+			if len(b.Preds) == 0 && b.ID != entry {
+				must = entryInit // unreachable; keep the fact harmless
+			}
+			if must != mustIn[b.ID] || may != mayIn[b.ID] {
+				mustIn[b.ID], mayIn[b.ID] = must, may
+				changed = true
+			}
+		}
+	}
+
+	// Reporting pass: walk each reachable block with converged in-facts.
+	for _, b := range order {
+		must, may := mustIn[b.ID], mayIn[b.ID]
+		for pc := b.Start; pc < b.End; pc++ {
+			u := iss.RegUseOf(comp, cfg.Prog.Code[pc])
+			if bad := u.Reads &^ may; bad != 0 {
+				for reg := 0; reg < isa.NumRegs; reg++ {
+					if bad&(1<<reg) != 0 {
+						r.add("uninit-read", SevError, pc, reg,
+							"a%d is read but never written on any path here", reg)
+					}
+				}
+			} else if maybe := u.Reads &^ must; maybe != 0 {
+				for reg := 0; reg < isa.NumRegs; reg++ {
+					if maybe&(1<<reg) != 0 {
+						r.add("uninit-read", SevWarn, pc, reg,
+							"a%d may be read before initialization (unwritten on some path)", reg)
+					}
+				}
+			}
+			must |= u.Writes
+			may |= u.Writes
+		}
+	}
+}
+
+// analyzeDeadWrites runs backward liveness and flags register writes
+// whose value is overwritten on every path before any read. The exit
+// live-out is all registers: the final register file is an observable
+// result of a run, so only values dead *within* the program are flagged.
+func analyzeDeadWrites(r *Report, proc *procgen.Processor) {
+	cfg := r.CFG
+	comp := proc.TIE
+	nb := len(cfg.Blocks)
+	if nb == 0 {
+		return
+	}
+
+	// liveIn[b] = use(b) | (liveOut(b) &^ defAll(b)) via per-instruction
+	// backward scan; liveOut(b) = union of successor liveIns, with exit
+	// edges contributing allRegs.
+	liveIn := make([]uint64, nb)
+	liveOutOf := func(b *Block) uint64 {
+		var out uint64
+		for _, e := range b.Succs {
+			if e.To == ExitID {
+				out = allRegs
+				break
+			}
+			out |= liveIn[e.To]
+		}
+		return out
+	}
+	scan := func(b *Block, out uint64) uint64 {
+		live := out
+		for pc := b.End - 1; pc >= b.Start; pc-- {
+			u := iss.RegUseOf(comp, cfg.Prog.Code[pc])
+			live = (live &^ u.Writes) | u.Reads
+		}
+		return live
+	}
+	for changed := true; changed; {
+		changed = false
+		for id := nb - 1; id >= 0; id-- {
+			b := cfg.Blocks[id]
+			if in := scan(b, liveOutOf(b)); in != liveIn[id] {
+				liveIn[id] = in
+				changed = true
+			}
+		}
+	}
+
+	for _, b := range cfg.Blocks {
+		if !b.Reachable {
+			continue
+		}
+		live := liveOutOf(b)
+		// Walk backward so each write is judged against liveness just
+		// after it; collect findings forward-ordered by the final sort.
+		for pc := b.End - 1; pc >= b.Start; pc-- {
+			in := cfg.Prog.Code[pc]
+			u := iss.RegUseOf(comp, in)
+			if u.WritesRd && int(in.Rd) < isa.NumRegs && live&(1<<in.Rd) == 0 {
+				r.add("dead-write", SevWarn, pc, int(in.Rd),
+					"a%d is overwritten on every path before being read", in.Rd)
+			}
+			live = (live &^ u.Writes) | u.Reads
+		}
+	}
+}
+
+// analyzeUnreachable flags blocks no CFG path from the entry reaches.
+func analyzeUnreachable(r *Report) {
+	for _, b := range r.CFG.Blocks {
+		if !b.Reachable {
+			r.add("unreachable", SevWarn, b.Start, -1,
+				"unreachable block of %d instruction(s)", b.End-b.Start)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package xlint_test
+
+import (
+	"testing"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/workloads"
+	"xtenergy/internal/xlint"
+)
+
+// boundsModel is a handcrafted macro-model with every coefficient
+// nonzero — including a negative one (OLS fits do produce them) — so the
+// interval arithmetic's sign handling is exercised, not just the
+// all-positive easy case.
+func boundsModel() *core.MacroModel {
+	m := &core.MacroModel{}
+	for i := 0; i < core.NumVars; i++ {
+		m.Coef[i] = 10 + float64(i)
+	}
+	m.Coef[core.VBranchUntaken] = -3.5 // negative coefficient on purpose
+	m.Coef[core.VInterlock] = 25
+	return m
+}
+
+const eps = 1e-6
+
+// TestBoundsBracketEveryWorkload is the acceptance criterion: for every
+// registered workload, the static per-block variable intervals —
+// instantiated with the dynamic block execution counts — must bracket
+// the variables the ISS actually measured, and the derived energy
+// interval must bracket the macro-model estimate.
+func TestBoundsBracketEveryWorkload(t *testing.T) {
+	model := boundsModel()
+	cfgP := procgen.Default()
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			proc, prog, err := w.Build(cfgP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := xlint.BuildCFG(prog, proc.TIE)
+			bounds, err := xlint.ComputeBounds(cfg, proc)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			counter := cfg.NewBlockCounter()
+			res, err := iss.New(proc).Run(prog, iss.Options{TraceSink: counter.Sink})
+			if err != nil {
+				t.Fatal(err)
+			}
+			actual, err := core.Extract(proc.TIE, &res.Stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			lo, hi, err := bounds.InstantiateVars(counter.Counts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < core.NumVars; i++ {
+				if actual[i] < lo[i]-eps || actual[i] > hi[i]+eps {
+					t.Errorf("var %s: actual %.3f outside static bounds [%.3f, %.3f]",
+						core.VarName(i), actual[i], lo[i], hi[i])
+				}
+			}
+
+			eLo, eHi := xlint.EnergyInterval(model, lo, hi)
+			est := model.EstimatePJ(actual)
+			if est < eLo-eps || est > eHi+eps {
+				t.Errorf("energy %.3f pJ outside static bounds [%.3f, %.3f]", est, eLo, eHi)
+			}
+			if eLo > eHi {
+				t.Errorf("inverted energy interval [%.3f, %.3f]", eLo, eHi)
+			}
+		})
+	}
+}
+
+// TestBoundsExactOnStraightLine pins the sharper property: on a
+// straight-line program with no branches, loads, or cache variability
+// beyond the first fetch, the only slack is the I-cache interval.
+func TestBoundsExactOnStraightLine(t *testing.T) {
+	proc, err := procgen.Generate(procgen.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := core.Workload{Name: "straight", Source: `
+    movi a2, 7
+    movi a3, 5
+    add  a4, a2, a3
+    sub  a1, a4, a3
+    ret
+`}
+	_, prog, err := (&core.Workload{Name: w.Name, Source: w.Source}).Build(procgen.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := xlint.BuildCFG(prog, proc.TIE)
+	bounds, err := xlint.ComputeBounds(cfg, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := cfg.NewBlockCounter()
+	res, err := iss.New(proc).Run(prog, iss.Options{TraceSink: counter.Sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := bounds.InstantiateVars(counter.Counts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four arith cycles exactly; the RET halts (lo), never redirects.
+	if lo[core.VArith] != 4 || hi[core.VArith] != 4 {
+		t.Errorf("VArith bounds [%g,%g], want exactly 4", lo[core.VArith], hi[core.VArith])
+	}
+	if lo[core.VJump] != 1 || hi[core.VJump] != 3 {
+		t.Errorf("VJump bounds [%g,%g], want [1,3]", lo[core.VJump], hi[core.VJump])
+	}
+	actual, err := core.Extract(proc.TIE, &res.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if actual[core.VJump] != 1 {
+		t.Errorf("actual VJump = %g, want 1 (halting ret)", actual[core.VJump])
+	}
+}
+
+// TestPathBounds exercises the simulation-free per-invocation bound: the
+// acyclic interval plus symbolic loop terms must bracket the actual
+// energy once the loop term is instantiated with the dynamic back-edge
+// trip count.
+func TestPathBounds(t *testing.T) {
+	proc, err := procgen.Generate(procgen.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := boundsModel()
+	w := &core.Workload{Name: "looped", Source: `
+    movi a2, 10
+    movi a1, 0
+top:
+    addi a1, a1, 3
+    addi a2, a2, -1
+    bnez a2, top
+    ret
+`}
+	_, prog, err := w.Build(procgen.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := xlint.BuildCFG(prog, proc.TIE)
+	bounds, err := xlint.ComputeBounds(cfg, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bounds.PathBounds(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Loops) != 1 {
+		t.Fatalf("loop terms = %+v, want exactly one back edge", rep.Loops)
+	}
+	if rep.Acyclic.Lo > rep.Acyclic.Hi || rep.Loops[0].PerIter.Lo > rep.Loops[0].PerIter.Hi {
+		t.Fatalf("inverted intervals: %+v", rep)
+	}
+
+	res, err := iss.New(proc).Run(prog, iss.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual, err := core.Extract(proc.TIE, &res.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := model.EstimatePJ(actual)
+	// The loop body runs 10 times: 9 of them via the back edge.
+	const trips = 9
+	lo := rep.Acyclic.Lo + trips*rep.Loops[0].PerIter.Lo
+	hi := rep.Acyclic.Hi + trips*rep.Loops[0].PerIter.Hi
+	if est < lo-eps || est > hi+eps {
+		t.Errorf("energy %.3f outside path bounds [%.3f, %.3f] at %d trips", est, lo, hi, trips)
+	}
+
+	// A program that cannot halt without iterating has no acyclic bound.
+	w2 := &core.Workload{Name: "forever", Source: `
+spin:
+    movi a2, 1
+    bnez a2, spin
+    j spin
+`}
+	_, prog2, err := w2.Build(procgen.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := xlint.BuildCFG(prog2, proc.TIE)
+	bounds2, err := xlint.ComputeBounds(cfg2, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bounds2.PathBounds(model); err == nil {
+		t.Error("non-halting program got an acyclic bound")
+	}
+}

@@ -1,0 +1,89 @@
+package xlint
+
+import (
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/tie"
+)
+
+// hazardBetween reports whether the producer instruction arms a
+// load-use or multiply-use hazard that the consumer instruction trips:
+// the producer is a load or iterative multiply writing Rd, and the
+// consumer reads that register through one of the bus-latched operand
+// ports the interlock comparator watches (this is where the
+// immediate-form TIE distinction matters — an immediate Rt field never
+// trips the comparator).
+func hazardBetween(producer, consumer iss.RegUse, producerRd, consRs, consRt uint8) bool {
+	if !(producer.IsLoad || producer.IsMult) || !producer.WritesRd {
+		return false
+	}
+	return (consumer.ReadsRs && consRs == producerRd) ||
+		(consumer.ReadsRt && consRt == producerRd)
+}
+
+// entryHazard classifies the interlock exposure of a block's first
+// instruction: guaranteed reports that every reachable way of entering
+// the block carries the hazard, possible that at least one does. The
+// hazard can only carry over edges with no front-end flush (sequential
+// fall and zero-overhead loop-back), from a predecessor whose last
+// retired instruction is the load/multiply producer.
+func entryHazard(cfg *CFG, comp *tie.Compiled, b *Block) (guaranteed, possible bool) {
+	first := cfg.Prog.Code[b.Start]
+	fu := iss.RegUseOf(comp, first)
+	guaranteed = true
+	if b.ID == cfg.Entry().ID {
+		guaranteed = false // reset entry carries no hazard
+	}
+	anyPred := false
+	for _, e := range b.Preds {
+		p := cfg.Blocks[e.From]
+		if !p.Reachable {
+			continue
+		}
+		anyPred = true
+		last := cfg.Prog.Code[p.End-1]
+		pu := iss.RegUseOf(comp, last)
+		if e.Kind.CarriesHazard() && hazardBetween(pu, fu, last.Rd, first.Rs, first.Rt) {
+			possible = true
+		} else {
+			guaranteed = false
+		}
+	}
+	if !anyPred {
+		guaranteed = false
+	}
+	return guaranteed && possible, possible
+}
+
+// analyzeInterlocks reports statically guaranteed interlock pairs: the
+// consumer pays a stall cycle on every execution. Within a block the
+// pair is adjacent instructions; across blocks it is a predecessor's
+// last instruction feeding a successor's first over hazard-carrying
+// edges from every reachable entry path.
+func analyzeInterlocks(r *Report, proc *procgen.Processor) {
+	cfg := r.CFG
+	comp := proc.TIE
+	for _, b := range cfg.Blocks {
+		if !b.Reachable {
+			continue
+		}
+		for pc := b.Start + 1; pc < b.End; pc++ {
+			prod, cons := cfg.Prog.Code[pc-1], cfg.Prog.Code[pc]
+			pu := iss.RegUseOf(comp, prod)
+			cu := iss.RegUseOf(comp, cons)
+			if hazardBetween(pu, cu, prod.Rd, cons.Rs, cons.Rt) {
+				kind := "load"
+				if pu.IsMult {
+					kind = "multiply"
+				}
+				r.add("interlock", SevNote, pc, int(prod.Rd),
+					"guaranteed %s-use interlock: a%d written at pc %d is consumed immediately (1 stall cycle per execution)",
+					kind, prod.Rd, pc-1)
+			}
+		}
+		if guaranteed, _ := entryHazard(cfg, comp, b); guaranteed {
+			r.add("interlock", SevNote, b.Start, -1,
+				"guaranteed interlock on block entry: every path into pc %d ends with a load/multiply feeding it", b.Start)
+		}
+	}
+}
