@@ -11,6 +11,7 @@
 package xtenergy_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -55,7 +56,7 @@ func BenchmarkTable1Characterize(b *testing.B) {
 	suite := workloads.CharacterizationSuite()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Characterize(cfg, tech, suite, regress.Options{}); err != nil {
+		if _, err := core.Characterize(context.Background(), cfg, tech, suite, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -143,7 +144,7 @@ func BenchmarkSpeedupRTLReference(b *testing.B) {
 	w, _ := workloads.ApplicationByName("des")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.ReferenceEnergy(s.Config, tech, w); err != nil {
+		if _, err := core.ReferenceEnergy(context.Background(), s.Config, tech, w); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -256,7 +257,7 @@ func BenchmarkReferenceStreamed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := est.Stream()
-		if _, err := rtlpower.RunStreamed(iss.New(proc), prog, iss.Options{}, st); err != nil {
+		if _, err := rtlpower.RunStreamed(context.Background(), iss.New(proc), prog, iss.Options{}, st); err != nil {
 			b.Fatal(err)
 		}
 		if _, err := st.Finish(); err != nil {

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	characterize [-fast] [-ridge λ] [-nonneg]
+//	characterize [-fast] [-ridge λ] [-nonneg] [-timeout d] [-retries n] [-partial]
+//
+// Exit status: 0 on a clean run, 1 when -partial dropped failed
+// workloads (the failure report goes to stderr; stdout stays
+// machine-parseable), 2 on a hard failure.
 package main
 
 import (
@@ -14,14 +18,23 @@ import (
 	"fmt"
 	"os"
 
+	"xtenergy/internal/core"
 	"xtenergy/internal/experiments"
 )
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "characterize:", err)
+	os.Exit(2)
+}
 
 func main() {
 	fast := flag.Bool("fast", false, "use the reduced-resolution reference model (quicker, slightly noisier)")
 	ridge := flag.Float64("ridge", 0, "ridge regularization strength for the regression")
 	nonneg := flag.Bool("nonneg", false, "constrain energy coefficients to be nonnegative")
 	save := flag.String("save", "", "write the characterized model to this JSON file")
+	timeout := flag.Duration("timeout", 0, "per-workload reference-measurement deadline (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts for transiently-failing workloads")
+	partial := flag.Bool("partial", false, "drop failed workloads and fit on the survivors (degraded runs exit 1)")
 	flag.Parse()
 
 	suite := experiments.Default()
@@ -30,25 +43,25 @@ func main() {
 	}
 	suite.Regress.Ridge = *ridge
 	suite.Regress.NonNegative = *nonneg
+	suite.Timeout = *timeout
+	suite.Retries = *retries
+	suite.Partial = *partial
 
 	cr, err := suite.Characterization()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "characterize:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	rows, err := suite.Table1()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "characterize:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Print(experiments.FormatTable1(rows))
 	fmt.Println()
 
 	fig3, err := suite.Fig3()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "characterize:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Print(experiments.FormatFig3(fig3))
 	fmt.Printf("\nregression: %d observations, R^2 = %.4f, condition estimate = %.1f\n",
@@ -56,9 +69,13 @@ func main() {
 
 	if *save != "" {
 		if err := cr.Model.Save(*save); err != nil {
-			fmt.Fprintln(os.Stderr, "characterize:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Println("model written to", *save)
+	}
+
+	if cr.Degraded() {
+		fmt.Fprint(os.Stderr, core.FormatFailures(cr.Failures))
+		os.Exit(1)
 	}
 }

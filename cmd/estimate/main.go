@@ -6,11 +6,16 @@
 //
 // Usage:
 //
-//	estimate [-fast] [-ref] -w <workload>
+//	estimate [-fast] [-ref] [-timeout d] [-retries n] [-partial] -w <workload>
 //	estimate -list
+//
+// Exit status: 0 on a clean run, 1 when -partial characterization
+// dropped failed workloads (the failure report goes to stderr; stdout
+// stays machine-parseable), 2 on a hard failure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,8 +27,12 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	degraded, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "estimate:", err)
+		os.Exit(2)
+	}
+	if degraded {
 		os.Exit(1)
 	}
 }
@@ -36,20 +45,23 @@ func candidates() []core.Workload {
 	return ws
 }
 
-func run() error {
+func run() (degraded bool, err error) {
 	fast := flag.Bool("fast", false, "use the reduced-resolution reference model")
 	withRef := flag.Bool("ref", false, "also run the RTL-level reference estimator")
 	name := flag.String("w", "", "workload to estimate")
 	list := flag.Bool("list", false, "list estimable workloads")
 	modelPath := flag.String("model", "", "load a characterized model from this JSON file instead of re-characterizing")
 	breakdown := flag.Bool("breakdown", false, "print the estimate's per-term decomposition")
+	timeout := flag.Duration("timeout", 0, "per-workload characterization deadline (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts for transiently-failing characterization workloads")
+	partial := flag.Bool("partial", false, "characterize on the surviving workloads when some fail (degraded runs exit 1)")
 	flag.Parse()
 
 	if *list {
 		for _, w := range candidates() {
 			fmt.Println(w.Name)
 		}
-		return nil
+		return false, nil
 	}
 	var w core.Workload
 	found := false
@@ -60,25 +72,32 @@ func run() error {
 		}
 	}
 	if !found {
-		return fmt.Errorf("unknown workload %q (try -list)", *name)
+		return false, fmt.Errorf("unknown workload %q (try -list)", *name)
 	}
 
 	suite := experiments.Default()
 	if *fast {
 		suite = experiments.Fast()
 	}
+	suite.Timeout = *timeout
+	suite.Retries = *retries
+	suite.Partial = *partial
 	var model *core.MacroModel
 	if *modelPath != "" {
 		m, err := core.LoadModel(*modelPath)
 		if err != nil {
-			return err
+			return false, err
 		}
 		model = m
 	} else {
 		fmt.Println("characterizing the processor (one-time cost per configuration)...")
 		cr, err := suite.Characterization()
 		if err != nil {
-			return err
+			return false, err
+		}
+		if cr.Degraded() {
+			degraded = true
+			fmt.Fprint(os.Stderr, core.FormatFailures(cr.Failures))
 		}
 		model = cr.Model
 	}
@@ -86,7 +105,7 @@ func run() error {
 	start := time.Now()
 	est, err := model.EstimateWorkload(suite.Config, w)
 	if err != nil {
-		return err
+		return degraded, err
 	}
 	estTime := time.Since(start)
 	fmt.Printf("macro-model estimate: %.3f uJ over %d cycles (%.1f mW at %.0f MHz) in %v\n",
@@ -101,9 +120,9 @@ func run() error {
 
 	if *withRef {
 		start = time.Now()
-		ref, err := core.ReferenceEnergy(suite.Config, suite.Tech, w)
+		ref, err := core.ReferenceEnergy(context.Background(), suite.Config, suite.Tech, w)
 		if err != nil {
-			return err
+			return degraded, err
 		}
 		refTime := time.Since(start)
 		errPct := 100 * (est.EnergyPJ - ref.EnergyPJ) / ref.EnergyPJ
@@ -111,5 +130,5 @@ func run() error {
 		fmt.Printf("error: %+.1f%%, reference/macro time ratio: %.0fx\n",
 			errPct, float64(refTime)/float64(estTime))
 	}
-	return nil
+	return degraded, nil
 }

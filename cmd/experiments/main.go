@@ -33,7 +33,7 @@ func main() {
 
 	which := flag.Args()
 	if len(which) == 0 {
-		which = []string{"table1", "fig3", "table2", "fig4", "speedup", "ablation", "config", "validation", "loocv", "stability"}
+		which = []string{"table1", "fig3", "table2", "fig4", "speedup", "ablation", "config", "validation", "loocv", "stability", "sabotage"}
 	}
 
 	var report strings.Builder
@@ -127,6 +127,12 @@ func runOne(suite *experiments.Suite, name string) (string, error) {
 			return "", err
 		}
 		return experiments.FormatStability(r), nil
+	case "sabotage":
+		r, err := suite.Sabotage()
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatSabotage(r), nil
 	}
-	return "", fmt.Errorf("unknown experiment %q (want table1, fig3, table2, fig4, speedup, ablation, config, validation, loocv, or stability)", name)
+	return "", fmt.Errorf("unknown experiment %q (want table1, fig3, table2, fig4, speedup, ablation, config, validation, loocv, stability, or sabotage)", name)
 }

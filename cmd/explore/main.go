@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +23,6 @@ import (
 	"xtenergy/internal/experiments"
 	"xtenergy/internal/explore"
 	"xtenergy/internal/procgen"
-	"xtenergy/internal/regress"
 	"xtenergy/internal/rtlpower"
 	"xtenergy/internal/workloads"
 )
@@ -61,7 +61,7 @@ func run() error {
 	} else {
 		for _, cfg := range configs {
 			fmt.Printf("characterizing %s...\n", cfg.Name)
-			cr, err := core.Characterize(cfg, tech, workloads.CharacterizationSuite(), regress.Options{})
+			cr, err := core.Characterize(context.Background(), cfg, tech, workloads.CharacterizationSuite(), core.Options{})
 			if err != nil {
 				return err
 			}

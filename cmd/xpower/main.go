@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -83,7 +84,7 @@ func run() error {
 		acc = rtlpower.NewProfileAccumulator(*profile)
 		st.OnEntry = acc.OnEntry
 	}
-	res, err := rtlpower.RunStreamed(iss.New(proc), prog, iss.Options{}, st)
+	res, err := rtlpower.RunStreamed(context.Background(), iss.New(proc), prog, iss.Options{}, st)
 	if err != nil {
 		return err
 	}

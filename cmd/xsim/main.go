@@ -7,9 +7,14 @@
 //	xsim -w <name>           run a built-in workload (test program or app)
 //	xsim <file.s>            assemble and run an XT32 assembly file (base ISA)
 //	xsim -disasm -w <name>   print the disassembly instead of running
+//	xsim -timeout 5s ...     abort the run after a wall-clock deadline
+//
+// A failed simulation prints a structured fault report to stderr (kind,
+// program counter, instruction, cycle, address) and exits 2.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +30,16 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "xsim:", err)
+		if f, ok := iss.AsFault(err); ok {
+			fmt.Fprintf(os.Stderr, "fault report:\n  kind:  %s\n", f.Kind)
+			if f.PC >= 0 {
+				fmt.Fprintf(os.Stderr, "  pc:    %d\n  instr: %s\n  cycle: %d\n", f.PC, f.Instr.String(), f.Cycle)
+			}
+			if f.Kind == iss.FaultMem {
+				fmt.Fprintf(os.Stderr, "  addr:  %#x\n", f.Addr)
+			}
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -41,6 +56,8 @@ func run() error {
 	netlist := flag.Bool("netlist", false, "print the generated processor's structural netlist")
 	traceN := flag.Int("trace", 0, "print the first N trace entries")
 	asJSON := flag.Bool("json", false, "emit the statistics and macro-model variables as JSON")
+	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock deadline (0 = none)")
+	maxCycles := flag.Uint64("maxcycles", 0, "watchdog cycle limit (0 = default)")
 	flag.Parse()
 
 	cfg := procgen.Default()
@@ -96,7 +113,13 @@ func run() error {
 	if *netlist {
 		return proc.WriteNetlist(os.Stdout)
 	}
-	res, err := iss.New(proc).Run(prog, iss.Options{CollectTrace: *traceN > 0})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := iss.New(proc).RunContext(ctx, prog, iss.Options{CollectTrace: *traceN > 0, MaxCycles: *maxCycles})
 	if err != nil {
 		return err
 	}

@@ -10,13 +10,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"xtenergy/internal/core"
 	"xtenergy/internal/hwlib"
 	"xtenergy/internal/procgen"
-	"xtenergy/internal/regress"
 	"xtenergy/internal/rtlpower"
 	"xtenergy/internal/tie"
 	"xtenergy/internal/workloads"
@@ -216,7 +216,7 @@ func main() {
 	tech.Detail = 0.1
 
 	fmt.Println("characterizing the processor family once...")
-	cr, err := core.Characterize(cfg, tech, workloads.CharacterizationSuite(), regress.Options{})
+	cr, err := core.Characterize(context.Background(), cfg, tech, workloads.CharacterizationSuite(), core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -17,7 +18,6 @@ import (
 
 	"xtenergy/internal/core"
 	"xtenergy/internal/procgen"
-	"xtenergy/internal/regress"
 	"xtenergy/internal/rtlpower"
 	"xtenergy/internal/workloads"
 )
@@ -36,7 +36,7 @@ func main() {
 	tech.Detail = 0.1
 
 	fmt.Println("characterizing the processor family once...")
-	cr, err := core.Characterize(cfg, tech, workloads.CharacterizationSuite(), regress.Options{})
+	cr, err := core.Characterize(context.Background(), cfg, tech, workloads.CharacterizationSuite(), core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func main() {
 		tEst += time.Since(t0)
 
 		t0 = time.Now()
-		ref, err := core.ReferenceEnergy(cfg, tech, w)
+		ref, err := core.ReferenceEnergy(context.Background(), cfg, tech, w)
 		if err != nil {
 			log.Fatal(err)
 		}

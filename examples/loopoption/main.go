@@ -11,12 +11,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"xtenergy/internal/core"
 	"xtenergy/internal/procgen"
-	"xtenergy/internal/regress"
 	"xtenergy/internal/rtlpower"
 	"xtenergy/internal/workloads"
 	"xtenergy/internal/xlint"
@@ -107,7 +107,7 @@ func main() {
 	// One characterization covers both: the option adds no new energy
 	// class, it removes per-iteration branch work.
 	fmt.Println("characterizing...")
-	cr, err := core.Characterize(looped, tech, workloads.CharacterizationSuite(), regress.Options{})
+	cr, err := core.Characterize(context.Background(), looped, tech, workloads.CharacterizationSuite(), core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ref, err := core.ReferenceEnergy(v.cfg, tech, v.w)
+		ref, err := core.ReferenceEnergy(context.Background(), v.cfg, tech, v.w)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,13 +7,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"xtenergy/internal/core"
 	"xtenergy/internal/hwlib"
 	"xtenergy/internal/procgen"
-	"xtenergy/internal/regress"
 	"xtenergy/internal/rtlpower"
 	"xtenergy/internal/tie"
 	"xtenergy/internal/workloads"
@@ -29,7 +29,7 @@ func main() {
 	// 2. Characterize once: fit the 21-coefficient energy macro-model
 	//    against the RTL-level reference over the test-program suite.
 	fmt.Println("characterizing (one-time per processor family)...")
-	cr, err := core.Characterize(cfg, tech, workloads.CharacterizationSuite(), regress.Options{})
+	cr, err := core.Characterize(context.Background(), cfg, tech, workloads.CharacterizationSuite(), core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,7 +96,7 @@ vecb:
 	fmt.Printf("macro-model estimate: %.3f uJ over %d cycles\n", est.EnergyUJ(), est.Cycles)
 
 	// 5. Validate against the slow reference.
-	ref, err := core.ReferenceEnergy(cfg, tech, app)
+	ref, err := core.ReferenceEnergy(context.Background(), cfg, tech, app)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,207 @@
+// Package chaos is the fault-injection harness for the
+// characterization pipeline. It sabotages selected workloads' reference
+// legs — memory faults at chosen program counters, NaN reference
+// energies, stalled or dropped trace batches, panicking workers, flaky
+// oracles — through the core.Options.Measure seam, without touching any
+// production code path. The robustness tests use it to prove that
+// partial characterization degrades gracefully (dropping exactly the
+// sabotaged workloads, recovering coefficients close to the clean fit)
+// and that cancellation never leaks goroutines.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/rtlpower"
+)
+
+// Mode selects how a targeted workload's reference leg is sabotaged.
+type Mode int
+
+const (
+	// MemFault injects a memory fault from inside the ISS once
+	// execution first reaches Sabotage.PC (or immediately when PC < 0):
+	// a deterministic, hard simulator fault.
+	MemFault Mode = iota
+	// NaNEnergy lets the leg complete, then corrupts the reference
+	// energy to NaN — the classic silent measurement failure the
+	// pipeline must refuse to fit against.
+	NaNEnergy
+	// StallStream substitutes a trace consumer that never consumes:
+	// the stream backs up, and only the per-workload deadline (or
+	// cancellation) can end the run.
+	StallStream
+	// DropBatches substitutes a consumer that silently discards every
+	// other trace batch — an integrity failure the measurement
+	// cross-check must catch (the estimate would otherwise just be
+	// quietly low).
+	DropBatches
+	// PanicWorker makes the measurement leg panic outright.
+	PanicWorker
+	// Flaky fails the first Sabotage.FailFirst attempts with a
+	// transient fault and then succeeds: the retry policy's test case.
+	Flaky
+)
+
+// String returns the mode name used in test output.
+func (m Mode) String() string {
+	switch m {
+	case MemFault:
+		return "mem-fault"
+	case NaNEnergy:
+		return "nan-energy"
+	case StallStream:
+		return "stall-stream"
+	case DropBatches:
+		return "drop-batches"
+	case PanicWorker:
+		return "panic-worker"
+	case Flaky:
+		return "flaky"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Sabotage describes one workload's injected failure.
+type Sabotage struct {
+	Mode Mode
+	// PC is the program counter MemFault triggers at; -1 faults on the
+	// first retired instruction.
+	PC int
+	// FailFirst is how many attempts Flaky fails before succeeding.
+	FailFirst int
+}
+
+// Plan maps workload names to their sabotage. Workloads not in the
+// plan are measured by the production leg unchanged.
+type Plan map[string]Sabotage
+
+// Measure returns the sabotaging core.MeasureFunc implementing the
+// plan. The returned function is safe for the characterization worker
+// pool (attempt counters are locked).
+func (p Plan) Measure() core.MeasureFunc {
+	var mu sync.Mutex
+	attempts := make(map[string]int)
+	return func(ctx context.Context, cfg procgen.Config, tech rtlpower.Technology, w core.Workload) (core.Measurement, error) {
+		sab, ok := p[w.Name]
+		if !ok {
+			return core.MeasureWorkload(ctx, cfg, tech, w)
+		}
+		switch sab.Mode {
+		case MemFault:
+			return measureStreamed(ctx, cfg, tech, w, iss.Options{
+				InjectFault: func(pc int, cycle uint64) *iss.Fault {
+					if sab.PC < 0 || pc == sab.PC {
+						return &iss.Fault{Kind: iss.FaultMem, Addr: 0xdead_beef, Msg: "injected memory fault"}
+					}
+					return nil
+				},
+			}, nil)
+		case NaNEnergy:
+			m, err := core.MeasureWorkload(ctx, cfg, tech, w)
+			if err != nil {
+				return m, err
+			}
+			m.MeasuredPJ = math.NaN()
+			return m, nil
+		case StallStream:
+			return measureStreamed(ctx, cfg, tech, w, iss.Options{}, func(c rtlpower.Consumer) rtlpower.Consumer {
+				return stallConsumer{ctx: ctx}
+			})
+		case DropBatches:
+			return measureStreamed(ctx, cfg, tech, w, iss.Options{}, func(c rtlpower.Consumer) rtlpower.Consumer {
+				return &dropConsumer{inner: c}
+			})
+		case PanicWorker:
+			panic("chaos: injected worker panic for " + w.Name)
+		case Flaky:
+			mu.Lock()
+			attempts[w.Name]++
+			n := attempts[w.Name]
+			mu.Unlock()
+			if n <= sab.FailFirst {
+				return core.Measurement{}, &iss.Fault{
+					Kind: iss.FaultMeasurement, Prog: w.Name, PC: -1,
+					Msg: fmt.Sprintf("flaky oracle (attempt %d)", n), Transient: true,
+				}
+			}
+			return core.MeasureWorkload(ctx, cfg, tech, w)
+		}
+		return core.Measurement{}, fmt.Errorf("chaos: unknown sabotage mode %v", sab.Mode)
+	}
+}
+
+// stallConsumer never consumes: it parks until the run's context ends,
+// modelling a wedged external estimator. It respects ctx, as the
+// rtlpower.Consumer contract requires.
+type stallConsumer struct{ ctx context.Context }
+
+func (s stallConsumer) Consume(batch []iss.TraceEntry) error {
+	<-s.ctx.Done()
+	return &iss.Fault{Kind: iss.FaultCancelled, PC: -1, Msg: "stalled trace consumer gave up", Err: s.ctx.Err()}
+}
+
+// dropConsumer silently forwards only every other batch, corrupting
+// the estimate without raising any error of its own.
+type dropConsumer struct {
+	inner rtlpower.Consumer
+	n     int
+}
+
+func (d *dropConsumer) Consume(batch []iss.TraceEntry) error {
+	d.n++
+	if d.n%2 == 0 {
+		return nil
+	}
+	return d.inner.Consume(batch)
+}
+
+// measureStreamed is the harness's own reference leg: the same flow as
+// core.MeasureWorkload (including the cycle-integrity cross-check) but
+// with injectable iss.Options and an optional consumer wrapper between
+// the stream and the estimator.
+func measureStreamed(ctx context.Context, cfg procgen.Config, tech rtlpower.Technology, w core.Workload, issOpts iss.Options, wrap func(rtlpower.Consumer) rtlpower.Consumer) (core.Measurement, error) {
+	proc, prog, err := w.Build(cfg)
+	if err != nil {
+		return core.Measurement{}, err
+	}
+	est, err := rtlpower.New(proc, tech)
+	if err != nil {
+		return core.Measurement{}, err
+	}
+	st := est.Stream()
+	var c rtlpower.Consumer = st
+	if wrap != nil {
+		c = wrap(c)
+	}
+	res, err := rtlpower.RunStreamed(ctx, iss.New(proc), prog, issOpts, c)
+	if err != nil {
+		return core.Measurement{}, err
+	}
+	rep, err := st.Finish()
+	if err != nil {
+		return core.Measurement{}, err
+	}
+	if rep.Cycles != res.Stats.Cycles {
+		return core.Measurement{}, &iss.Fault{
+			Kind: iss.FaultMeasurement, Prog: w.Name, PC: -1,
+			Msg: fmt.Sprintf("trace integrity: estimator consumed %d cycles, ISS retired %d (dropped batches?)", rep.Cycles, res.Stats.Cycles),
+		}
+	}
+	vars, err := core.Extract(proc.TIE, &res.Stats)
+	if err != nil {
+		return core.Measurement{}, err
+	}
+	return core.Measurement{
+		Vars:       vars,
+		OpcodeExec: res.Stats.OpcodeExec,
+		MeasuredPJ: rep.TotalPJ,
+		Cycles:     res.Stats.Cycles,
+	}, nil
+}

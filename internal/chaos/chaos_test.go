@@ -1,0 +1,190 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"xtenergy/internal/chaos"
+	"xtenergy/internal/core"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/rtlpower"
+	"xtenergy/internal/workloads"
+)
+
+// victim returns a characterization workload known to retire well over
+// one trace batch, so batch-level sabotage (drops, stalls) has
+// something to bite on.
+func victim(t *testing.T) core.Workload {
+	t.Helper()
+	for _, w := range workloads.CharacterizationSuite() {
+		if w.Name == "tp37_memheavy_custom" {
+			return w
+		}
+	}
+	t.Fatal("tp37_memheavy_custom missing from the suite")
+	return core.Workload{}
+}
+
+// measure applies a one-workload plan to the victim.
+func measure(t *testing.T, ctx context.Context, sab chaos.Sabotage) (core.Measurement, error) {
+	t.Helper()
+	w := victim(t)
+	m := chaos.Plan{w.Name: sab}.Measure()
+	return m(ctx, procgen.Default(), rtlpower.FastTechnology(), w)
+}
+
+func wantKind(t *testing.T, err error, kind iss.FaultKind) *iss.Fault {
+	t.Helper()
+	f, ok := iss.AsFault(err)
+	if !ok || f.Kind != kind {
+		t.Fatalf("want %s fault, got %v", kind, err)
+	}
+	return f
+}
+
+func TestMemFaultMode(t *testing.T) {
+	_, err := measure(t, context.Background(), chaos.Sabotage{Mode: chaos.MemFault, PC: -1})
+	f := wantKind(t, err, iss.FaultMem)
+	if f.Addr != 0xdead_beef {
+		t.Fatalf("addr = %#x", f.Addr)
+	}
+	if f.IsTransient() {
+		t.Fatal("injected memory fault must be hard (not retried)")
+	}
+}
+
+func TestNaNEnergyMode(t *testing.T) {
+	m, err := measure(t, context.Background(), chaos.Sabotage{Mode: chaos.NaNEnergy})
+	if err != nil {
+		t.Fatalf("NaN sabotage must complete the leg: %v", err)
+	}
+	if !math.IsNaN(m.MeasuredPJ) {
+		t.Fatalf("MeasuredPJ = %v, want NaN", m.MeasuredPJ)
+	}
+}
+
+func TestStallStreamMode(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := measure(t, ctx, chaos.Sabotage{Mode: chaos.StallStream})
+	f := wantKind(t, err, iss.FaultCancelled)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stall must end via the deadline: %v", err)
+	}
+	if !f.IsTransient() {
+		t.Fatal("deadline-induced stall must count as transient")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled leg took %v to give up", elapsed)
+	}
+}
+
+func TestDropBatchesMode(t *testing.T) {
+	_, err := measure(t, context.Background(), chaos.Sabotage{Mode: chaos.DropBatches})
+	f := wantKind(t, err, iss.FaultMeasurement)
+	if f.Prog != "tp37_memheavy_custom" {
+		t.Fatalf("fault prog = %q", f.Prog)
+	}
+}
+
+func TestPanicWorkerMode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic-worker mode did not panic (the pool's recover is the safety net)")
+		}
+	}()
+	_, _ = measure(t, context.Background(), chaos.Sabotage{Mode: chaos.PanicWorker})
+}
+
+func TestFlakyModeRecovers(t *testing.T) {
+	w := victim(t)
+	m := chaos.Plan{w.Name: {Mode: chaos.Flaky, FailFirst: 1}}.Measure()
+	_, err := m(context.Background(), procgen.Default(), rtlpower.FastTechnology(), w)
+	f := wantKind(t, err, iss.FaultMeasurement)
+	if !f.IsTransient() {
+		t.Fatal("flaky fault must be transient")
+	}
+	got, err := m(context.Background(), procgen.Default(), rtlpower.FastTechnology(), w)
+	if err != nil {
+		t.Fatalf("second attempt must succeed: %v", err)
+	}
+	if got.MeasuredPJ <= 0 {
+		t.Fatal("recovered measurement is empty")
+	}
+}
+
+func TestUnsabotagedWorkloadUntouched(t *testing.T) {
+	w := victim(t)
+	clean, err := core.MeasureWorkload(context.Background(), procgen.Default(), rtlpower.FastTechnology(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := chaos.Plan{"someone-else": {Mode: chaos.PanicWorker}}.Measure()
+	got, err := m(context.Background(), procgen.Default(), rtlpower.FastTechnology(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MeasuredPJ != clean.MeasuredPJ {
+		t.Fatalf("plan leaked onto an untargeted workload: %g vs %g", got.MeasuredPJ, clean.MeasuredPJ)
+	}
+}
+
+// TestCharacterizeCancelNoLeak cancels a characterization run from
+// inside a measurement leg (mid-stream, while the worker pool is busy):
+// Characterize must return context.Canceled and the pool plus every
+// stream pipeline must wind down without leaking goroutines.
+func TestCharacterizeCancelNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The first leg to start pulls the plug partway through its own
+	// simulation; every other in-flight leg sees the cancellation at a
+	// batch boundary.
+	trip := func(ctx context.Context, cfg procgen.Config, tech rtlpower.Technology, w core.Workload) (core.Measurement, error) {
+		proc, prog, err := w.Build(cfg)
+		if err != nil {
+			return core.Measurement{}, err
+		}
+		est, err := rtlpower.New(proc, tech)
+		if err != nil {
+			return core.Measurement{}, err
+		}
+		fired := false
+		opts := iss.Options{InjectFault: func(pc int, cycle uint64) *iss.Fault {
+			if cycle > 1000 && !fired {
+				fired = true
+				cancel()
+			}
+			return nil
+		}}
+		_, err = rtlpower.RunStreamed(ctx, iss.New(proc), prog, opts, est.Stream())
+		if err != nil {
+			return core.Measurement{}, err
+		}
+		return core.Measurement{}, errors.New("run survived cancellation")
+	}
+
+	cr, err := core.Characterize(ctx, procgen.Default(), rtlpower.FastTechnology(),
+		workloads.CharacterizationSuite(), core.Options{Partial: true, Measure: trip})
+	if cr != nil {
+		t.Fatal("cancelled characterization returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d running, started with %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -10,7 +11,6 @@ import (
 	"xtenergy/internal/hwlib"
 	"xtenergy/internal/iss"
 	"xtenergy/internal/procgen"
-	"xtenergy/internal/regress"
 	"xtenergy/internal/rtlpower"
 	"xtenergy/internal/tie"
 	"xtenergy/internal/workloads"
@@ -47,9 +47,9 @@ var (
 func fastChar(t *testing.T) *core.CharacterizationResult {
 	t.Helper()
 	charOnce.Do(func() {
-		charRes, charErr = core.Characterize(
+		charRes, charErr = core.Characterize(context.Background(),
 			procgen.Default(), rtlpower.FastTechnology(),
-			workloads.CharacterizationSuite(), regress.Options{})
+			workloads.CharacterizationSuite(), core.Options{})
 	})
 	if charErr != nil {
 		t.Fatal(charErr)
@@ -168,7 +168,7 @@ func TestCharacterizeGeneralizes(t *testing.T) {
 		if !ok {
 			t.Fatal("application missing")
 		}
-		cmp, err := cr.Model.Compare(procgen.Default(), rtlpower.FastTechnology(), w)
+		cmp, err := cr.Model.Compare(context.Background(), procgen.Default(), rtlpower.FastTechnology(), w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,22 +216,22 @@ func TestEstimateWithoutModelFails(t *testing.T) {
 func TestCharacterizeErrors(t *testing.T) {
 	cfg := procgen.Default()
 	tech := rtlpower.FastTechnology()
-	if _, err := core.Characterize(cfg, tech, nil, regress.Options{}); err == nil {
+	if _, err := core.Characterize(context.Background(), cfg, tech, nil, core.Options{}); err == nil {
 		t.Fatal("empty suite accepted")
 	}
 	// Too few programs for the active variables.
-	if _, err := core.Characterize(cfg, tech, workloads.CharacterizationSuite()[:3], regress.Options{}); err == nil {
+	if _, err := core.Characterize(context.Background(), cfg, tech, workloads.CharacterizationSuite()[:3], core.Options{}); err == nil {
 		t.Fatal("underdetermined suite accepted")
 	}
 	// A broken program fails characterization.
 	bad := []core.Workload{{Name: "x", Source: "bogus\n"}}
-	if _, err := core.Characterize(cfg, tech, bad, regress.Options{}); err == nil {
+	if _, err := core.Characterize(context.Background(), cfg, tech, bad, core.Options{}); err == nil {
 		t.Fatal("broken program accepted")
 	}
 }
 
 func TestReferenceEnergy(t *testing.T) {
-	ref, err := core.ReferenceEnergy(procgen.Default(), rtlpower.FastTechnology(), workloads.Applications()[5])
+	ref, err := core.ReferenceEnergy(context.Background(), procgen.Default(), rtlpower.FastTechnology(), workloads.Applications()[5])
 	if err != nil {
 		t.Fatal(err)
 	}

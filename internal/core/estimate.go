@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"xtenergy/internal/iss"
 	"xtenergy/internal/procgen"
 	"xtenergy/internal/rtlpower"
 )
@@ -61,7 +63,9 @@ func (r Reference) EnergyUJ() float64 { return r.EnergyPJ * 1e-6 }
 // reference estimator (the WattWatcher leg of Table II). The ISS
 // streams into the estimator (rtlpower.EstimateProgram), so the
 // measurement runs in O(1) memory regardless of workload length.
-func ReferenceEnergy(cfg procgen.Config, tech rtlpower.Technology, w Workload) (Reference, error) {
+// Cancelling ctx aborts within one batch boundary with a typed
+// cancelled fault.
+func ReferenceEnergy(ctx context.Context, cfg procgen.Config, tech rtlpower.Technology, w Workload) (Reference, error) {
 	proc, prog, err := w.Build(cfg)
 	if err != nil {
 		return Reference{}, err
@@ -70,7 +74,7 @@ func ReferenceEnergy(cfg procgen.Config, tech rtlpower.Technology, w Workload) (
 	if err != nil {
 		return Reference{}, err
 	}
-	rep, res, err := est.EstimateProgram(prog)
+	rep, res, err := est.EstimateProgram(ctx, prog, iss.Options{})
 	if err != nil {
 		return Reference{}, fmt.Errorf("core: workload %s: %w", w.Name, err)
 	}
@@ -94,12 +98,12 @@ type Comparison struct {
 }
 
 // Compare runs both paths for a workload and reports the error.
-func (m *MacroModel) Compare(cfg procgen.Config, tech rtlpower.Technology, w Workload) (Comparison, error) {
+func (m *MacroModel) Compare(ctx context.Context, cfg procgen.Config, tech rtlpower.Technology, w Workload) (Comparison, error) {
 	est, err := m.EstimateWorkload(cfg, w)
 	if err != nil {
 		return Comparison{}, err
 	}
-	ref, err := ReferenceEnergy(cfg, tech, w)
+	ref, err := ReferenceEnergy(ctx, cfg, tech, w)
 	if err != nil {
 		return Comparison{}, err
 	}

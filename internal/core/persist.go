@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
 	"xtenergy/internal/regress"
@@ -15,6 +16,7 @@ import (
 type modelFile struct {
 	Format       int                `json:"format"`
 	Description  string             `json:"description,omitempty"`
+	NumVars      int                `json:"num_vars,omitempty"`
 	Coefficients map[string]float64 `json:"coefficients_pj"`
 	// Training diagnostics (informational).
 	R2           float64 `json:"r2,omitempty"`
@@ -25,10 +27,28 @@ type modelFile struct {
 
 const modelFormatVersion = 1
 
-// MarshalJSON encodes the model with named coefficients.
+// validateCoefficients rejects coefficient vectors that would yield
+// garbage estimates: NaN or infinite entries (a corrupt file, or a fit
+// gone numerically wrong) have no meaningful energy interpretation.
+func validateCoefficients(coef *Vars) error {
+	for i, c := range coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("core: coefficient %q is %v; the model is corrupt or the fit diverged", VarName(i), c)
+		}
+	}
+	return nil
+}
+
+// MarshalJSON encodes the model with named coefficients. Models with
+// NaN/Inf coefficients are rejected rather than written: a file that
+// LoadModel would refuse must never be produced.
 func (m *MacroModel) MarshalJSON() ([]byte, error) {
+	if err := validateCoefficients(&m.Coef); err != nil {
+		return nil, err
+	}
 	f := modelFile{
 		Format:       modelFormatVersion,
+		NumVars:      NumVars,
 		Coefficients: make(map[string]float64, NumVars),
 	}
 	for i := 0; i < NumVars; i++ {
@@ -43,9 +63,13 @@ func (m *MacroModel) MarshalJSON() ([]byte, error) {
 	return json.MarshalIndent(f, "", "  ")
 }
 
-// UnmarshalJSON decodes a model written by MarshalJSON. Unknown
-// coefficient names are rejected (they signal a version mismatch);
-// missing names default to zero.
+// UnmarshalJSON decodes a model written by MarshalJSON and validates
+// it: the format version must match, the coefficient vector must have
+// the expected length (when the file declares num_vars), every name
+// must be known, and no coefficient may be NaN or infinite — a
+// truncated or corrupted file fails loudly here instead of silently
+// yielding garbage estimates. Missing names default to zero (files
+// written before num_vars was recorded are accepted).
 func (m *MacroModel) UnmarshalJSON(data []byte) error {
 	var f modelFile
 	if err := json.Unmarshal(data, &f); err != nil {
@@ -53,6 +77,15 @@ func (m *MacroModel) UnmarshalJSON(data []byte) error {
 	}
 	if f.Format != modelFormatVersion {
 		return fmt.Errorf("core: model format %d, want %d", f.Format, modelFormatVersion)
+	}
+	if f.NumVars != 0 && f.NumVars != NumVars {
+		return fmt.Errorf("core: model has %d variables, want %d (wrong-length coefficient vector)", f.NumVars, NumVars)
+	}
+	if len(f.Coefficients) == 0 {
+		return fmt.Errorf("core: model has no coefficients")
+	}
+	if f.NumVars != 0 && len(f.Coefficients) != NumVars {
+		return fmt.Errorf("core: model has %d coefficients, want %d (truncated file?)", len(f.Coefficients), NumVars)
 	}
 	byName := make(map[string]int, NumVars)
 	for i := 0; i < NumVars; i++ {
@@ -65,6 +98,9 @@ func (m *MacroModel) UnmarshalJSON(data []byte) error {
 			return fmt.Errorf("core: model has unknown coefficient %q", name)
 		}
 		coef[i] = v
+	}
+	if err := validateCoefficients(&coef); err != nil {
+		return err
 	}
 	m.Coef = coef
 	// Reconstruct summary-level diagnostics so consumers can report them.

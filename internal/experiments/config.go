@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -60,7 +61,7 @@ func (s *Suite) ConfigSensitivity() (ConfigSensitivityResult, error) {
 	}
 
 	altCfg := AltConfig()
-	altCR, err := core.Characterize(altCfg, s.Tech, workloads.CharacterizationSuite(), s.Regress)
+	altCR, err := core.Characterize(context.Background(), altCfg, s.Tech, workloads.CharacterizationSuite(), core.Options{Regress: s.Regress})
 	if err != nil {
 		return ConfigSensitivityResult{}, fmt.Errorf("experiments: alt characterization: %w", err)
 	}
@@ -91,7 +92,7 @@ func (s *Suite) ConfigSensitivity() (ConfigSensitivityResult, error) {
 		if err != nil {
 			return res, err
 		}
-		ref, err := core.ReferenceEnergy(altCfg, s.Tech, w)
+		ref, err := core.ReferenceEnergy(context.Background(), altCfg, s.Tech, w)
 		if err != nil {
 			return res, err
 		}

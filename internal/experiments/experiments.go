@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -36,8 +37,26 @@ type Suite struct {
 	Tech    rtlpower.Technology
 	Regress regress.Options
 
+	// Fault-tolerance knobs, forwarded to core.Characterize: Partial
+	// drops failed workloads instead of aborting, Timeout bounds each
+	// workload's reference leg, Retries re-runs transient failures.
+	Partial bool
+	Timeout time.Duration
+	Retries int
+
 	charResult *core.CharacterizationResult
 	appObs     []appObservation
+}
+
+// charOpts assembles the core characterization options from the
+// suite's knobs.
+func (s *Suite) charOpts() core.Options {
+	return core.Options{
+		Regress: s.Regress,
+		Partial: s.Partial,
+		Timeout: s.Timeout,
+		Retries: s.Retries,
+	}
 }
 
 // Default returns the paper-faithful suite (full-detail reference
@@ -58,7 +77,7 @@ func (s *Suite) Characterization() (*core.CharacterizationResult, error) {
 	if s.charResult != nil {
 		return s.charResult, nil
 	}
-	res, err := core.Characterize(s.Config, s.Tech, workloads.CharacterizationSuite(), s.Regress)
+	res, err := core.Characterize(context.Background(), s.Config, s.Tech, workloads.CharacterizationSuite(), s.charOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +252,7 @@ func (s *Suite) compareApps(cr *core.CharacterizationResult, apps []core.Workloa
 				errs[i] = err
 				return
 			}
-			ref, err := core.ReferenceEnergy(s.Config, s.Tech, w)
+			ref, err := core.ReferenceEnergy(context.Background(), s.Config, s.Tech, w)
 			if err != nil {
 				errs[i] = err
 				return
@@ -315,7 +334,7 @@ func (s *Suite) Fig4() ([]Fig4Point, error) {
 		if err != nil {
 			return nil, err
 		}
-		ref, err := core.ReferenceEnergy(s.Config, s.Tech, w)
+		ref, err := core.ReferenceEnergy(context.Background(), s.Config, s.Tech, w)
 		if err != nil {
 			return nil, err
 		}
@@ -399,7 +418,7 @@ func (s *Suite) Speedup() (SpeedupResult, error) {
 
 	start = time.Now()
 	for _, w := range apps {
-		if _, err := core.ReferenceEnergy(s.Config, refTech, w); err != nil {
+		if _, err := core.ReferenceEnergy(context.Background(), s.Config, refTech, w); err != nil {
 			return SpeedupResult{}, err
 		}
 	}

@@ -1,6 +1,7 @@
 package explore_test
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -8,7 +9,6 @@ import (
 	"xtenergy/internal/core"
 	"xtenergy/internal/explore"
 	"xtenergy/internal/procgen"
-	"xtenergy/internal/regress"
 	"xtenergy/internal/rtlpower"
 	"xtenergy/internal/workloads"
 )
@@ -22,8 +22,8 @@ var (
 func sharedModel(t *testing.T) *core.MacroModel {
 	t.Helper()
 	modelOnce.Do(func() {
-		cr, err := core.Characterize(procgen.Default(), rtlpower.FastTechnology(),
-			workloads.CharacterizationSuite(), regress.Options{})
+		cr, err := core.Characterize(context.Background(), procgen.Default(), rtlpower.FastTechnology(),
+			workloads.CharacterizationSuite(), core.Options{})
 		if err != nil {
 			modelErr = err
 			return

@@ -1,7 +1,6 @@
 package iss
 
 import (
-	"fmt"
 	"math/bits"
 
 	"xtenergy/internal/isa"
@@ -244,11 +243,11 @@ func (s *Simulator) execBase(in isa.Instr, pc int, te *TraceEntry) (baseResult, 
 	// --- zero-overhead loops (configurable option) ---
 	case isa.OpLOOP, isa.OpLOOPNEZ:
 		if !s.proc.Config.HasLoops {
-			return res, fmt.Errorf("illegal instruction: %s requires the zero-overhead loop option", in.Op.Name())
+			return res, newFault(FaultIllegalInstr, "illegal instruction: %s requires the zero-overhead loop option", in.Op.Name())
 		}
 		end := pc + 1 + int(in.Imm)
 		if end <= pc+1 || end > len(s.prog.Code) {
-			return res, fmt.Errorf("%s target %d out of range", in.Op.Name(), end)
+			return res, newFault(FaultIllegalInstr, "%s target %d out of range", in.Op.Name(), end)
 		}
 		if in.Op == isa.OpLOOPNEZ && rs == 0 {
 			// Skip the body entirely; treated like a taken redirect.
@@ -339,7 +338,7 @@ func (s *Simulator) execBase(in isa.Instr, pc int, te *TraceEntry) (baseResult, 
 		return res, nil
 
 	default:
-		return res, fmt.Errorf("unimplemented opcode %s", in.Op.Name())
+		return res, newFault(FaultIllegalInstr, "unimplemented opcode %s", in.Op.Name())
 	}
 
 	// Fallthrough: plain arithmetic-class instructions.

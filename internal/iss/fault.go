@@ -1,0 +1,154 @@
+package iss
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"xtenergy/internal/isa"
+)
+
+// FaultKind classifies a structured simulation failure. The first five
+// kinds are raised by the simulator itself; FaultPanic and
+// FaultMeasurement extend the taxonomy to the surrounding pipeline
+// (worker legs recovered from panics, unusable reference measurements),
+// so one errors.As target covers every failure mode a characterization
+// run can produce.
+type FaultKind uint8
+
+const (
+	// FaultMem is a data-memory fault: an unaligned or out-of-range
+	// load/store. Fault.Addr holds the offending address.
+	FaultMem FaultKind = iota
+	// FaultIllegalInstr is an illegal or unimplemented instruction,
+	// a custom opcode the processor's extension does not define, an
+	// option-gated instruction on a processor without the option, or
+	// wild control flow (pc outside the program image).
+	FaultIllegalInstr
+	// FaultWatchdog means the Options.MaxCycles watchdog expired
+	// (runaway program).
+	FaultWatchdog
+	// FaultCustomOp is a failure inside a custom (TIE) instruction:
+	// its semantics function panicked.
+	FaultCustomOp
+	// FaultCancelled means the run was interrupted through its
+	// context, either by explicit cancellation or by a deadline.
+	// Fault.Err wraps the context error, so errors.Is against
+	// context.Canceled / context.DeadlineExceeded works.
+	FaultCancelled
+	// FaultPanic is a panic recovered outside custom semantics —
+	// inside the simulator proper or inside a characterization worker
+	// leg — converted to an error instead of tearing down the process.
+	FaultPanic
+	// FaultMeasurement marks a reference measurement that completed
+	// but is unusable (NaN/Inf energy, trace-integrity mismatch, or a
+	// failure injected by the chaos harness). Raised by downstream
+	// consumers (internal/core, internal/chaos), not by the simulator.
+	FaultMeasurement
+)
+
+// String returns the stable, hyphenated kind name used in reports.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultMem:
+		return "mem-fault"
+	case FaultIllegalInstr:
+		return "illegal-instr"
+	case FaultWatchdog:
+		return "watchdog"
+	case FaultCustomOp:
+		return "custom-op"
+	case FaultCancelled:
+		return "cancelled"
+	case FaultPanic:
+		return "panic"
+	case FaultMeasurement:
+		return "bad-measurement"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// Fault is a structured simulator (or pipeline) failure: the kind plus
+// the faulting site. Every runtime error returned by Simulator.Run wraps
+// a *Fault, so callers can errors.As their way to the faulting program
+// counter, instruction, and cycle instead of parsing message strings.
+type Fault struct {
+	// Kind classifies the fault.
+	Kind FaultKind
+	// Prog is the name of the program that faulted.
+	Prog string
+	// PC is the word index of the faulting instruction; -1 when the
+	// fault has no meaningful instruction site (e.g. a measurement
+	// fault).
+	PC int
+	// Cycle is the simulated cycle count at the fault.
+	Cycle uint64
+	// Instr is the faulting instruction (zero value when PC is -1 or
+	// out of the program image).
+	Instr isa.Instr
+	// Addr is the faulting data address (memory faults only).
+	Addr uint32
+	// Msg is the human-readable detail.
+	Msg string
+	// Err is the wrapped cause, if any (e.g. a context error); Unwrap
+	// exposes it to errors.Is/As.
+	Err error
+	// Transient marks a fault worth retrying: the same run could
+	// plausibly succeed on another attempt (a flaky external oracle,
+	// injected by the chaos harness). Deadline-induced cancellations
+	// are implicitly transient — see IsTransient.
+	Transient bool
+}
+
+// Error formats the fault with its site.
+func (f *Fault) Error() string {
+	var b strings.Builder
+	b.WriteString("iss: ")
+	if f.Prog != "" {
+		b.WriteString(f.Prog)
+		b.WriteString(": ")
+	}
+	fmt.Fprintf(&b, "%s fault", f.Kind)
+	if f.PC >= 0 {
+		fmt.Fprintf(&b, " at pc %d (%s), cycle %d", f.PC, f.Instr.String(), f.Cycle)
+	}
+	if f.Kind == FaultMem {
+		fmt.Fprintf(&b, ", addr %#x", f.Addr)
+	}
+	if f.Msg != "" {
+		b.WriteString(": ")
+		b.WriteString(f.Msg)
+	}
+	if f.Err != nil {
+		fmt.Fprintf(&b, ": %v", f.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the wrapped cause (e.g. context.Canceled).
+func (f *Fault) Unwrap() error { return f.Err }
+
+// IsTransient reports whether retrying the run could plausibly succeed:
+// explicitly transient faults, plus cancellations caused by a deadline
+// (a per-workload timeout under machine load) rather than by an
+// explicit cancel.
+func (f *Fault) IsTransient() bool {
+	if f.Transient {
+		return true
+	}
+	return f.Kind == FaultCancelled && errors.Is(f.Err, context.DeadlineExceeded)
+}
+
+// AsFault unwraps err to the innermost *Fault, if any.
+func AsFault(err error) (*Fault, bool) {
+	var f *Fault
+	ok := errors.As(err, &f)
+	return f, ok
+}
+
+// newFault builds a site-less fault; the simulator's run loop fills in
+// the site (program, pc, instruction, cycle) when it propagates one.
+func newFault(kind FaultKind, format string, args ...any) *Fault {
+	return &Fault{Kind: kind, PC: -1, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,199 @@
+package iss_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"xtenergy/internal/asm"
+	"xtenergy/internal/hwlib"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/tie"
+)
+
+// faultFrom runs src on a base processor and requires a typed fault.
+func faultFrom(t *testing.T, src string, opts iss.Options) *iss.Fault {
+	t.Helper()
+	proc, err := procgen.Generate(procgen.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.New(proc.TIE).Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = iss.New(proc).Run(prog, opts)
+	if err == nil {
+		t.Fatal("run succeeded, want fault")
+	}
+	f, ok := iss.AsFault(err)
+	if !ok {
+		t.Fatalf("error is not a *iss.Fault: %v", err)
+	}
+	return f
+}
+
+func TestMemFaultSite(t *testing.T) {
+	f := faultFrom(t, "movi a2, 0x1001\n l32i a1, a2, 0\n ret", iss.Options{})
+	if f.Kind != iss.FaultMem {
+		t.Fatalf("kind = %s, want mem-fault", f.Kind)
+	}
+	if f.Addr != 0x1001 {
+		t.Fatalf("addr = %#x, want 0x1001", f.Addr)
+	}
+	if f.PC != 1 {
+		t.Fatalf("pc = %d, want 1 (the l32i)", f.PC)
+	}
+	if f.Prog != "t" {
+		t.Fatalf("prog = %q", f.Prog)
+	}
+	// The error string keeps the legacy "unaligned" marker and carries
+	// the site.
+	msg := f.Error()
+	for _, want := range []string{"unaligned", "mem-fault", "pc 1", "addr 0x1001"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+	if f.IsTransient() {
+		t.Fatal("memory fault must not be transient")
+	}
+}
+
+func TestMemFaultOutOfRange(t *testing.T) {
+	f := faultFrom(t, "movi a2, 0x1FFFC\n slli a2, a2, 8\n l32i a1, a2, 0\n ret", iss.Options{})
+	if f.Kind != iss.FaultMem {
+		t.Fatalf("kind = %s, want mem-fault", f.Kind)
+	}
+	if !strings.Contains(f.Error(), "beyond") {
+		t.Fatalf("error %q missing RAM-bound detail", f.Error())
+	}
+}
+
+func TestWatchdogFault(t *testing.T) {
+	f := faultFrom(t, "loop:\n j loop\n", iss.Options{MaxCycles: 1000})
+	if f.Kind != iss.FaultWatchdog {
+		t.Fatalf("kind = %s, want watchdog", f.Kind)
+	}
+	if !strings.Contains(f.Error(), "exceeded") {
+		t.Fatalf("error %q missing legacy watchdog marker", f.Error())
+	}
+	if f.IsTransient() {
+		t.Fatal("watchdog fault must not be transient")
+	}
+}
+
+func TestCancelledFault(t *testing.T) {
+	proc, err := procgen.Generate(procgen.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.New(proc.TIE).Assemble("t", "loop:\n j loop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = iss.New(proc).RunContext(ctx, prog, iss.Options{})
+	f, ok := iss.AsFault(err)
+	if !ok || f.Kind != iss.FaultCancelled {
+		t.Fatalf("want cancelled fault, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("fault does not wrap context.Canceled: %v", err)
+	}
+	// Explicit cancellation is not worth retrying...
+	if f.IsTransient() {
+		t.Fatal("explicit cancellation must not be transient")
+	}
+	// ...but a deadline is (machine load), and so is the explicit flag.
+	if !(&iss.Fault{Kind: iss.FaultCancelled, Err: context.DeadlineExceeded}).IsTransient() {
+		t.Fatal("deadline cancellation must be transient")
+	}
+	if !(&iss.Fault{Kind: iss.FaultMeasurement, Transient: true}).IsTransient() {
+		t.Fatal("explicit Transient flag ignored")
+	}
+}
+
+func TestCustomOpPanicBecomesFault(t *testing.T) {
+	ext := &tie.Extension{
+		Name: "e",
+		Instructions: []*tie.Instruction{{
+			Name: "boom", Latency: 1, ReadsGeneral: true, WritesGeneral: true,
+			Datapath: []tie.DatapathElem{{
+				Component: hwlib.Component{Name: "u", Cat: hwlib.TIEAdd, Width: 32},
+			}},
+			Semantics: func(_ *tie.State, _ tie.Operands) uint32 { panic("semantics bug") },
+		}},
+	}
+	proc, err := procgen.Generate(procgen.Default(), ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.New(proc.TIE).Assemble("t", "movi a2, 1\n boom a1, a2, a2\n ret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = iss.New(proc).Run(prog, iss.Options{})
+	f, ok := iss.AsFault(err)
+	if !ok || f.Kind != iss.FaultCustomOp {
+		t.Fatalf("want custom-op fault, got %v", err)
+	}
+	if !strings.Contains(f.Error(), "boom") || !strings.Contains(f.Error(), "semantics bug") {
+		t.Fatalf("fault does not name the instruction: %v", f)
+	}
+	if f.PC != 1 {
+		t.Fatalf("pc = %d, want 1", f.PC)
+	}
+}
+
+func TestInjectFaultFillsSite(t *testing.T) {
+	proc, err := procgen.Generate(procgen.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.New(proc.TIE).Assemble("t", "movi a1, 1\n movi a2, 2\n add a3, a1, a2\n ret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = iss.New(proc).Run(prog, iss.Options{
+		InjectFault: func(pc int, cycle uint64) *iss.Fault {
+			if pc == 2 {
+				return &iss.Fault{Kind: iss.FaultMem, Addr: 0xdead_beef, Msg: "injected"}
+			}
+			return nil
+		},
+	})
+	f, ok := iss.AsFault(err)
+	if !ok {
+		t.Fatalf("want fault, got %v", err)
+	}
+	if f.Kind != iss.FaultMem || f.Addr != 0xdead_beef {
+		t.Fatalf("injected fault mangled: %+v", f)
+	}
+	if f.PC != 2 || f.Prog != "t" {
+		t.Fatalf("site not filled: pc=%d prog=%q", f.PC, f.Prog)
+	}
+	if f.Instr.String() == "" {
+		t.Fatal("instruction not filled")
+	}
+}
+
+func TestFaultKindNames(t *testing.T) {
+	want := map[iss.FaultKind]string{
+		iss.FaultMem:          "mem-fault",
+		iss.FaultIllegalInstr: "illegal-instr",
+		iss.FaultWatchdog:     "watchdog",
+		iss.FaultCustomOp:     "custom-op",
+		iss.FaultCancelled:    "cancelled",
+		iss.FaultPanic:        "panic",
+		iss.FaultMeasurement:  "bad-measurement",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("kind %d = %q, want %q", k, k.String(), name)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package iss_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"xtenergy/internal/isa"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+)
+
+// FuzzSimulatorNeverPanics feeds raw instruction words to the simulator
+// and requires the taxonomy's contract: every run either halts cleanly
+// or returns a typed *iss.Fault — the simulator must never panic and
+// never return an untyped runtime error, no matter the program.
+func FuzzSimulatorNeverPanics(f *testing.F) {
+	proc, err := procgen.Generate(procgen.Default(), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// Seeds: a tight loop, loads at hostile addresses, a custom opcode
+	// on an extension-less processor, and raw junk.
+	seed := func(words ...uint32) []byte {
+		b := make([]byte, 4*len(words))
+		for i, w := range words {
+			binary.LittleEndian.PutUint32(b[4*i:], w)
+		}
+		return b
+	}
+	f.Add(seed(0))
+	f.Add(seed(0xFFFF_FFFF))
+	f.Add([]byte{1, 2, 3}) // sub-word tail
+	f.Add(seed(0xDEAD_BEEF, 0x0BAD_F00D, 0x1234_5678, 0x8765_4321))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxWords = 256
+		var code []isa.Instr
+		for i := 0; i+4 <= len(data) && len(code) < maxWords; i += 4 {
+			in, err := isa.Decode(binary.LittleEndian.Uint32(data[i:]))
+			if err != nil {
+				continue // undecodable word: not an executable program
+			}
+			code = append(code, in)
+		}
+		if len(code) == 0 {
+			return
+		}
+		prog := &iss.Program{Name: "fuzz", Code: code}
+		if err := prog.Validate(); err != nil {
+			return // malformed image: rejected pre-flight, by design
+		}
+		_, err := iss.New(proc).Run(prog, iss.Options{MaxCycles: 100_000})
+		if err == nil {
+			return
+		}
+		if _, ok := iss.AsFault(err); !ok {
+			t.Fatalf("untyped runtime error: %v", err)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package iss
 
 import (
+	"context"
 	"fmt"
 
 	"xtenergy/internal/cache"
@@ -42,7 +43,15 @@ type Options struct {
 	// initialization analysis is validated against.
 	RecordUninitReads bool
 	// MaxCycles aborts runaway programs; 0 means the default (200M).
+	// Exceeding it raises a FaultWatchdog fault.
 	MaxCycles uint64
+	// InjectFault, when non-nil, is consulted before every retired
+	// instruction with the upcoming pc and the current cycle count;
+	// returning a non-nil fault aborts the run at that site (the
+	// simulator fills in the program, pc, instruction, and cycle).
+	// This is the seam the internal/chaos fault-injection harness
+	// uses; leave nil in production runs.
+	InjectFault func(pc int, cycle uint64) *Fault
 }
 
 // UninitRead records one dynamic read of a never-written register.
@@ -134,8 +143,28 @@ func New(p *procgen.Processor) *Simulator {
 // Processor returns the processor the simulator was built for.
 func (s *Simulator) Processor() *procgen.Processor { return s.proc }
 
-// Run executes prog to completion and returns its statistics.
+// Run executes prog to completion and returns its statistics. It is
+// RunContext without cancellation.
 func (s *Simulator) Run(prog *Program, opts Options) (*Result, error) {
+	return s.RunContext(context.Background(), prog, opts)
+}
+
+// RunContext executes prog to completion and returns its statistics.
+//
+// Every runtime failure — memory fault, illegal instruction, watchdog
+// expiry, custom-instruction failure, cancellation — is returned as a
+// *Fault carrying the faulting site, so callers can errors.As their way
+// to the kind, pc, and cycle. Panics inside instruction execution are
+// recovered into faults; the simulator never tears down the process.
+// (Pre-flight image problems from Program.Validate remain plain errors:
+// they describe a malformed image, not a run.)
+//
+// ctx is checked once per TraceBatchSize retired instructions — the
+// same granularity at which trace batches are delivered — so the check
+// adds O(1) overhead and cancellation is observed within one batch
+// boundary. A cancelled run returns a FaultCancelled fault wrapping
+// ctx.Err().
+func (s *Simulator) RunContext(ctx context.Context, prog *Program, opts Options) (res *Result, err error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -160,19 +189,49 @@ func (s *Simulator) Run(prog *Program, opts Options) (*Result, error) {
 	}
 
 	pc := prog.Entry
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, s.site(newFault(FaultPanic, "recovered: %v", r), pc)
+		}
+	}()
+
+	// Cancellation is polled every TraceBatchSize retirements whether or
+	// not a sink is attached, keeping the check off the per-instruction
+	// path.
+	untilCheck := 0
+
 	for {
 		if pc == len(prog.Code) {
 			break // fell off the end: normal halt
 		}
 		if pc < 0 || pc > len(prog.Code) {
-			return nil, fmt.Errorf("iss: %s: pc %d out of range [0,%d]", prog.Name, pc, len(prog.Code))
+			f := newFault(FaultIllegalInstr, "pc %d out of range [0,%d]", pc, len(prog.Code))
+			f.Prog, f.Cycle = prog.Name, s.stats.Cycles
+			return nil, f
 		}
 		if s.stats.Cycles > maxCycles {
-			return nil, fmt.Errorf("iss: %s: exceeded %d cycles (runaway program?)", prog.Name, maxCycles)
+			return nil, s.site(newFault(FaultWatchdog, "exceeded %d cycles (runaway program?)", maxCycles), pc)
+		}
+		if untilCheck <= 0 {
+			untilCheck = TraceBatchSize
+			select {
+			case <-ctx.Done():
+				f := newFault(FaultCancelled, "run interrupted")
+				f.Err = ctx.Err()
+				return nil, s.site(f, pc)
+			default:
+			}
+		}
+		untilCheck--
+		if opts.InjectFault != nil {
+			if f := opts.InjectFault(pc, s.stats.Cycles); f != nil {
+				f.PC = -1 // the injection point is the site, whatever the hook set
+				return nil, s.site(f, pc)
+			}
 		}
 		next, halt, err := s.step(pc, opts.CollectTrace)
 		if err != nil {
-			return nil, fmt.Errorf("iss: %s at pc %d (%s): %w", prog.Name, pc, prog.Code[pc], err)
+			return nil, s.site(err, pc)
 		}
 		if halt {
 			break
@@ -182,16 +241,40 @@ func (s *Simulator) Run(prog *Program, opts Options) (*Result, error) {
 
 	if s.sink != nil && len(s.batch) > 0 {
 		if err := s.sink(s.batch); err != nil {
-			return nil, fmt.Errorf("iss: %s: trace sink: %w", prog.Name, err)
+			return nil, s.site(err, pc)
 		}
 		s.batch = s.batch[:0]
 	}
 
-	res := &Result{Stats: s.stats, Trace: s.trace, Regs: s.regs, UninitReads: s.uninit}
+	res = &Result{Stats: s.stats, Trace: s.trace, Regs: s.regs, UninitReads: s.uninit}
 	if s.tie != nil {
 		res.TIE = s.tie.Clone()
 	}
 	return res, nil
+}
+
+// site attaches the faulting site to an error bubbling out of the run
+// loop: a *Fault anywhere in the chain gets its program, pc,
+// instruction, and cycle filled in (when not already set); any other
+// error (e.g. a trace-sink failure) is wrapped with the site as text.
+func (s *Simulator) site(err error, pc int) error {
+	if f, ok := AsFault(err); ok {
+		if f.Prog == "" {
+			f.Prog = s.prog.Name
+		}
+		if f.PC < 0 {
+			f.PC = pc
+			if pc >= 0 && pc < len(s.prog.Code) {
+				f.Instr = s.prog.Code[pc]
+			}
+			f.Cycle = s.stats.Cycles
+		}
+		if f == err {
+			return f
+		}
+		return err
+	}
+	return fmt.Errorf("iss: %s at pc %d: %w", s.prog.Name, pc, err)
 }
 
 // UninitReads returns the uninitialized-register reads recorded during
@@ -330,7 +413,9 @@ func (s *Simulator) loopBack(next int) int {
 func (s *Simulator) execCustom(in isa.Instr, te *TraceEntry) (int, error) {
 	ci, err := s.proc.TIE.Instruction(in.CustomID)
 	if err != nil {
-		return 0, err
+		f := newFault(FaultIllegalInstr, "custom instruction not in extension")
+		f.Err = err
+		return 0, f
 	}
 	ops := tie.Operands{Rd: in.Rd, Rs: in.Rs, Rt: in.Rt, Imm: in.Imm}
 	if ci.ImmOperand {
@@ -349,7 +434,10 @@ func (s *Simulator) execCustom(in isa.Instr, te *TraceEntry) (int, error) {
 	if st == nil {
 		st = &tie.State{}
 	}
-	result := ci.Semantics(st, ops)
+	result, err := runSemantics(ci, st, ops)
+	if err != nil {
+		return 0, err
+	}
 	if ci.WritesGeneral {
 		s.regs[in.Rd] = result
 		te.Result = result
@@ -361,6 +449,18 @@ func (s *Simulator) execCustom(in isa.Instr, te *TraceEntry) (int, error) {
 		s.stats.CustomRegfileCycles += uint64(ci.Latency)
 	}
 	return ci.Latency, nil
+}
+
+// runSemantics executes a custom instruction's semantics with a panic
+// guard: user-provided TIE semantics that panic surface as a custom-op
+// fault instead of killing the process.
+func runSemantics(ci *tie.Instruction, st *tie.State, ops tie.Operands) (v uint32, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newFault(FaultCustomOp, "custom instruction %s panicked: %v", ci.Name, r)
+		}
+	}()
+	return ci.Semantics(st, ops), nil
 }
 
 func (s *Simulator) finishEntry(te *TraceEntry, pc int, in isa.Instr, cycles int, collect bool) error {
@@ -425,10 +525,14 @@ func (s *Simulator) store(addr uint32, size int, v uint32) error {
 
 func (s *Simulator) checkMem(addr uint32, size int) error {
 	if addr%uint32(size) != 0 {
-		return fmt.Errorf("unaligned %d-byte access at %#x", size, addr)
+		f := newFault(FaultMem, "unaligned %d-byte access", size)
+		f.Addr = addr
+		return f
 	}
 	if int(addr)+size > len(s.mem) {
-		return fmt.Errorf("memory access at %#x beyond %d-byte RAM", addr, len(s.mem))
+		f := newFault(FaultMem, "access beyond %d-byte RAM", len(s.mem))
+		f.Addr = addr
+		return f
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package profiler_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -10,7 +11,6 @@ import (
 	"xtenergy/internal/iss"
 	"xtenergy/internal/procgen"
 	"xtenergy/internal/profiler"
-	"xtenergy/internal/regress"
 	"xtenergy/internal/rtlpower"
 	"xtenergy/internal/workloads"
 )
@@ -24,8 +24,8 @@ var (
 func sharedModel(t *testing.T) *core.MacroModel {
 	t.Helper()
 	modelOnce.Do(func() {
-		cr, err := core.Characterize(procgen.Default(), rtlpower.FastTechnology(),
-			workloads.CharacterizationSuite(), regress.Options{})
+		cr, err := core.Characterize(context.Background(), procgen.Default(), rtlpower.FastTechnology(),
+			workloads.CharacterizationSuite(), core.Options{})
 		if err != nil {
 			modelErr = err
 			return

@@ -1,6 +1,7 @@
 package rtlpower
 
 import (
+	"context"
 	"fmt"
 
 	"xtenergy/internal/isa"
@@ -136,9 +137,14 @@ func isShift(op isa.Opcode) bool {
 // channel (see RunStreamed), so the trace is never materialized —
 // memory stays O(1) in the run length and simulation overlaps with
 // estimation. The returned Result carries statistics but no Trace.
-func (e *Estimator) EstimateProgram(prog *iss.Program) (Report, *iss.Result, error) {
+//
+// opts lets callers set watchdog limits or fault injection; any trace
+// options in it are overridden by the stream (see RunStreamed).
+// Cancelling ctx aborts within one batch boundary with a typed
+// FaultCancelled error.
+func (e *Estimator) EstimateProgram(ctx context.Context, prog *iss.Program, opts iss.Options) (Report, *iss.Result, error) {
 	st := e.Stream()
-	res, err := RunStreamed(iss.New(e.proc), prog, iss.Options{}, st)
+	res, err := RunStreamed(ctx, iss.New(e.proc), prog, opts, st)
 	if err != nil {
 		return Report{}, nil, err
 	}

@@ -1,6 +1,7 @@
 package rtlpower_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -307,7 +308,7 @@ func TestEstimateProgram(t *testing.T) {
 		t.Fatal(err)
 	}
 	e, _ := rtlpower.New(proc, testTech())
-	rep, res, err := e.EstimateProgram(prog)
+	rep, res, err := e.EstimateProgram(context.Background(), prog, iss.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,9 @@
 package rtlpower
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/bits"
 	"sync/atomic"
 
@@ -246,15 +248,43 @@ const streamBatchBuffers = 4
 // consumer has failed, so the run stops instead of simulating on.
 var errStreamAborted = errors.New("rtlpower: stream estimator failed; aborting simulation")
 
-// RunStreamed executes prog on sim while st estimates it concurrently:
-// the simulator's TraceSink copies each retired batch into one of a
-// fixed ring of buffers and hands it to a consumer goroutine over a
-// bounded channel, so simulation overlaps with per-net estimation and
-// the trace is never materialized. Batch boundaries do not affect the
-// estimate, so the result is deterministic and bit-identical to
-// EstimateTrace on the same run. Any CollectTrace/TraceSink already in
-// opts is overridden. The caller still owns st and must call Finish.
-func RunStreamed(sim *iss.Simulator, prog *iss.Program, opts iss.Options, st *StreamEstimator) (*iss.Result, error) {
+// Consumer receives the execution trace batch by batch in retirement
+// order. *StreamEstimator is the production implementation; the chaos
+// harness wraps one to corrupt, stall, or drop batches. A Consumer used
+// with RunStreamed must return promptly or watch the run's context:
+// a Consume call that blocks forever deadlocks the stream shutdown.
+type Consumer interface {
+	Consume(batch []iss.TraceEntry) error
+}
+
+// safeConsume delivers one batch, recovering a panicking consumer into
+// a typed fault so a broken (or chaos-sabotaged) estimator cannot tear
+// down the process.
+func safeConsume(c Consumer, batch []iss.TraceEntry) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &iss.Fault{Kind: iss.FaultPanic, PC: -1, Msg: fmt.Sprintf("trace consumer panicked: %v", r)}
+		}
+	}()
+	return c.Consume(batch)
+}
+
+// RunStreamed executes prog on sim while c (usually a *StreamEstimator)
+// estimates it concurrently: the simulator's TraceSink copies each
+// retired batch into one of a fixed ring of buffers and hands it to a
+// consumer goroutine over a bounded channel, so simulation overlaps
+// with per-net estimation and the trace is never materialized. Batch
+// boundaries do not affect the estimate, so the result is deterministic
+// and bit-identical to EstimateTrace on the same run. Any
+// CollectTrace/TraceSink already in opts is overridden. The caller
+// still owns the consumer and, for a StreamEstimator, must call Finish.
+//
+// Cancelling ctx aborts the run within one batch boundary with a
+// FaultCancelled fault (the simulator polls the context, and a sink
+// blocked on a stalled consumer unblocks on ctx.Done). The consumer
+// goroutine and both channels are always drained before RunStreamed
+// returns — cancellation leaks nothing.
+func RunStreamed(ctx context.Context, sim *iss.Simulator, prog *iss.Program, opts iss.Options, c Consumer) (*iss.Result, error) {
 	free := make(chan []iss.TraceEntry, streamBatchBuffers)
 	for i := 0; i < streamBatchBuffers; i++ {
 		free <- make([]iss.TraceEntry, 0, iss.TraceBatchSize)
@@ -270,7 +300,7 @@ func RunStreamed(sim *iss.Simulator, prog *iss.Program, opts iss.Options, st *St
 		defer close(done)
 		for b := range work {
 			if consumeErr == nil {
-				if err := st.Consume(b); err != nil {
+				if err := safeConsume(c, b); err != nil {
 					consumeErr = err
 					failed.Store(true)
 				}
@@ -284,11 +314,20 @@ func RunStreamed(sim *iss.Simulator, prog *iss.Program, opts iss.Options, st *St
 		if failed.Load() {
 			return errStreamAborted
 		}
-		buf := <-free
-		work <- append(buf, batch...)
-		return nil
+		select {
+		case buf := <-free:
+			// work is as deep as the buffer ring, so this send never
+			// blocks.
+			work <- append(buf, batch...)
+			return nil
+		case <-ctx.Done():
+			// The consumer is stalled (all buffers in flight) and the
+			// run's deadline expired, or the run was cancelled: abort
+			// at this batch boundary instead of waiting forever.
+			return &iss.Fault{Kind: iss.FaultCancelled, PC: -1, Msg: "trace stream stalled or cancelled", Err: ctx.Err()}
+		}
 	}
-	res, runErr := sim.Run(prog, opts)
+	res, runErr := sim.RunContext(ctx, prog, opts)
 	close(work)
 	<-done
 	if consumeErr != nil {

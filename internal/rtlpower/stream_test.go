@@ -1,6 +1,7 @@
 package rtlpower_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -89,7 +90,7 @@ func TestStreamEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			gotProg, resProg, err := eProg.EstimateProgram(prog)
+			gotProg, resProg, err := eProg.EstimateProgram(context.Background(), prog, iss.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
