@@ -21,6 +21,7 @@ import (
 	"xtenergy/internal/explore"
 	"xtenergy/internal/iss"
 	"xtenergy/internal/linalg"
+	"xtenergy/internal/plan"
 	"xtenergy/internal/procgen"
 	"xtenergy/internal/profiler"
 	"xtenergy/internal/regress"
@@ -193,6 +194,51 @@ func BenchmarkISS(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Stats.Retired), "instrs/op")
+	}
+}
+
+// BenchmarkISSSteps measures the pure simulation hot loop — no trace,
+// no estimator — over the Reed-Solomon base workload. This is the loop
+// the predecoded plan (internal/plan) feeds: per-instruction metadata
+// comes from the program's prebuilt records and dispatch is an indexed
+// table walk. allocs/op must stay independent of how many instructions
+// retire (steady state allocates nothing per step); ns/op divided by
+// instrs/op is the per-instruction cost tracked in BENCH_iss.json.
+func BenchmarkISSSteps(b *testing.B) {
+	w := workloads.ReedSolomonBase()
+	proc, prog, err := w.Build(procgen.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := iss.New(proc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(prog, iss.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Stats.Retired), "instrs/op")
+	}
+}
+
+// BenchmarkPlanBuild measures predecoding one program into its plan
+// (plan.Build) — the one-time cost the hot loop's per-step savings are
+// bought with. It is paid once per (program, extension) pair and
+// amortizes across every consumer and every re-run.
+func BenchmarkPlanBuild(b *testing.B) {
+	w := workloads.ReedSolomonBase()
+	proc, prog, err := w.Build(procgen.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := plan.Build(prog.Code, prog.CodeBase, prog.Uncached, proc.TIE)
+		if len(p.Recs) != len(prog.Code) {
+			b.Fatal("short plan")
+		}
 	}
 }
 

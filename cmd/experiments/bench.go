@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"xtenergy/internal/iss"
+	"xtenergy/internal/plan"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/rtlpower"
+	"xtenergy/internal/workloads"
+)
+
+// The bench subcommand is the perf-trajectory recorder: it runs the
+// ISS-path micro-benchmarks in process (testing.Benchmark, same bodies
+// as the go-test benchmarks in bench_test.go) and maintains a JSON file
+// with two snapshots per benchmark — "baseline", frozen when first
+// recorded, and "current", overwritten on every run — so a PR can show
+// its ns/op delta against the numbers it started from.
+
+// benchEntry is one benchmark measurement.
+type benchEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	InstrsPerOp float64 `json:"instrs_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	N           int     `json:"n,omitempty"`
+}
+
+// benchFile is the on-disk BENCH_iss.json layout.
+type benchFile struct {
+	Note     string                `json:"note"`
+	GOOS     string                `json:"goos"`
+	GOARCH   string                `json:"goarch"`
+	Baseline map[string]benchEntry `json:"baseline"`
+	Current  map[string]benchEntry `json:"current"`
+}
+
+func runBench(argv []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	jsonPath := fs.String("json", "BENCH_iss.json", "benchmark trajectory file to update")
+	benchtime := fs.String("benchtime", "", "per-benchmark budget in testing -benchtime syntax (e.g. 2s, 1x)")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	testing.Init()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			return err
+		}
+	}
+
+	w := workloads.ReedSolomonBase()
+	proc, prog, err := w.Build(procgen.Default())
+	if err != nil {
+		return err
+	}
+
+	current := map[string]benchEntry{}
+
+	sim := iss.New(proc)
+	current["iss_steps"] = toEntry(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(prog, iss.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Stats.Retired), "instrs/op")
+		}
+	}))
+
+	current["plan_build"] = toEntry(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := plan.Build(prog.Code, prog.CodeBase, prog.Uncached, proc.TIE)
+			if len(p.Recs) != len(prog.Code) {
+				b.Fatal("short plan")
+			}
+		}
+	}))
+
+	est, err := rtlpower.New(proc, rtlpower.FastTechnology())
+	if err != nil {
+		return err
+	}
+	current["reference_streamed"] = toEntry(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := est.Stream()
+			if _, err := rtlpower.RunStreamed(context.Background(), iss.New(proc), prog, iss.Options{}, st); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.Finish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	f := benchFile{
+		Note:   "ISS-path perf trajectory over the rs_base workload; baseline is frozen at first record, current is overwritten by `experiments bench`",
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+	}
+	if raw, err := os.ReadFile(*jsonPath); err == nil {
+		var prev benchFile
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			return fmt.Errorf("bench: %s exists but is not a trajectory file: %w", *jsonPath, err)
+		}
+		f.Baseline = prev.Baseline
+	}
+	if f.Baseline == nil {
+		f.Baseline = current
+	}
+	f.Current = current
+
+	out, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	for _, name := range []string{"iss_steps", "plan_build", "reference_streamed"} {
+		cur := f.Current[name]
+		line := fmt.Sprintf("%-20s %14.0f ns/op %8d B/op %6d allocs/op", name, cur.NsPerOp, cur.BytesPerOp, cur.AllocsPerOp)
+		if base, ok := f.Baseline[name]; ok && base.NsPerOp > 0 && base != cur {
+			line += fmt.Sprintf("   (baseline %14.0f ns/op, %+.1f%%)", base.NsPerOp, 100*(cur.NsPerOp-base.NsPerOp)/base.NsPerOp)
+		}
+		fmt.Println(line)
+	}
+	fmt.Fprintln(os.Stderr, "trajectory written to", *jsonPath)
+	return nil
+}
+
+func toEntry(r testing.BenchmarkResult) benchEntry {
+	return benchEntry{
+		NsPerOp:     float64(r.NsPerOp()),
+		InstrsPerOp: r.Extra["instrs/op"],
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		N:           r.N,
+	}
+}

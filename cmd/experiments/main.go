@@ -7,8 +7,11 @@
 // Usage:
 //
 //	experiments [-fast] [-out file] [table1|fig3|table2|fig4|speedup|ablation|config ...]
+//	experiments bench [-json BENCH_iss.json] [-benchtime 2s]
 //
-// With no arguments, all experiments run in order.
+// With no arguments, all experiments run in order. The bench subcommand
+// runs the ISS-path micro-benchmarks in process and updates the
+// BENCH_iss.json perf trajectory (see cmd/experiments/bench.go).
 package main
 
 import (
@@ -32,6 +35,13 @@ func main() {
 	}
 
 	which := flag.Args()
+	if len(which) > 0 && which[0] == "bench" {
+		if err := runBench(which[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(which) == 0 {
 		which = []string{"table1", "fig3", "table2", "fig4", "speedup", "ablation", "config", "validation", "loocv", "stability", "sabotage"}
 	}

@@ -36,6 +36,7 @@ import (
 
 	"xtenergy/internal/isa"
 	"xtenergy/internal/iss"
+	"xtenergy/internal/plan"
 	"xtenergy/internal/tie"
 )
 
@@ -387,10 +388,11 @@ func (a *Assembler) encodeLine(ln *sourceLine, syms map[string]symbol, pc int, n
 			if err != nil {
 				return in, err
 			}
-			if v < -32 || v > 31 {
-				return fail("%s immediate %d out of range [-32,31]", ln.op, v)
+			rt, ok := plan.EncodeImm6(v)
+			if !ok {
+				return fail("%s immediate %d out of range [%d,%d]", ln.op, v, plan.MinImm6, plan.MaxImm6)
 			}
-			in.Rt = uint8(v) & 0x3F
+			in.Rt = rt
 		} else {
 			r, err := isa.ParseReg(ln.args[2])
 			if err != nil {
@@ -512,10 +514,13 @@ func (a *Assembler) encodeLine(ln *sourceLine, syms map[string]symbol, pc int, n
 		if err != nil {
 			return in, err
 		}
-		if c < -32 || c > 63 {
-			return fail("%s constant %d out of range [-32,63]", ln.op, c)
+		// Signed compares decode the field via plan.DecodeImm6; the
+		// unsigned/bit forms read it raw, so the assembler accepts the
+		// union of both encodable ranges.
+		if c < plan.MinImm6 || c > (1<<plan.Imm6Bits)-1 {
+			return fail("%s constant %d out of range [%d,%d]", ln.op, c, plan.MinImm6, (1<<plan.Imm6Bits)-1)
 		}
-		in.Rt = uint8(c) & 0x3F
+		in.Rt = uint8(c) & ((1 << plan.Imm6Bits) - 1)
 		off, err := branchTarget(2)
 		if err != nil {
 			return in, err

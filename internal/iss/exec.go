@@ -4,7 +4,21 @@ import (
 	"math/bits"
 
 	"xtenergy/internal/isa"
+	"xtenergy/internal/plan"
 )
+
+// Base-instruction execution is table-driven: execTable holds one
+// function per opcode, built once at package init, and the retire loop
+// dispatches with a single indexed load instead of walking a 70-case
+// switch per instruction. Each function receives the predecoded plan
+// record for its site, so operand-form decisions (register vs constant
+// Rt, branch targets, cycle counts) were all made at plan-build time.
+//
+// The accounting contract is exact: every function charges the same
+// class-cycle buckets, in the same order, with the same pipeline flush
+// and penalty arithmetic as the original switch — the differential
+// equivalence suite in internal/core holds the table to bit-identical
+// traces, stats, and energies.
 
 // baseResult is the outcome of executing one base instruction.
 type baseResult struct {
@@ -13,170 +27,77 @@ type baseResult struct {
 	halt   bool
 }
 
-func signExtend6(v uint8) int32 {
-	return int32(int8(v<<2)) >> 2
+// execFn executes one base instruction. rs and rt are the operand
+// registers' values, latched by the caller (unconditionally, so
+// out-of-range register encodings fault at the same point they always
+// did); te receives the data-dependent trace fields.
+type execFn func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error)
+
+// branchClose settles a conditional branch: taken pays the redirect
+// penalty and flushes the hazard window; both outcomes close the entry's
+// cycles into the corresponding branch class bucket.
+func (s *Simulator) branchClose(res *baseResult, target int, taken bool, te *TraceEntry) {
+	te.Taken = taken
+	if taken {
+		res.cycles += s.pipe.TakenPenalty
+		res.nextPC = target
+		s.stats.ClassCycles[CBranchTaken] += uint64(res.cycles)
+		s.pipe.Flush()
+	} else {
+		s.stats.ClassCycles[CBranchUntaken] += uint64(res.cycles)
+	}
 }
 
-// execBase executes one base-ISA instruction, updates architectural
-// state and class-cycle statistics, and fills the data-dependent fields
-// of the trace entry.
-func (s *Simulator) execBase(in isa.Instr, pc int, te *TraceEntry) (baseResult, error) {
-	d := in.Def()
-	rs := s.regs[in.Rs]
-	rt := s.regs[in.Rt]
-	te.RsVal, te.RtVal = rs, rt
+// jumpClose settles an unconditional transfer to target.
+func (s *Simulator) jumpClose(res *baseResult, target int) {
+	res.cycles += s.pipe.JumpPenalty
+	res.nextPC = target
+	s.stats.ClassCycles[CJump] += uint64(res.cycles)
+	s.pipe.Flush()
+}
 
-	res := baseResult{cycles: d.Cycles, nextPC: pc + 1}
-	writeRd := func(v uint32) {
-		s.regs[in.Rd] = v
+// alu builds the handler for a plain arithmetic-class instruction that
+// writes f(in, rs, rt) to Rd.
+func alu(f func(in isa.Instr, rs, rt uint32) uint32) execFn {
+	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+		v := f(rec.Instr, rs, rt)
+		s.regs[rec.Instr.Rd] = v
 		te.Result = v
+		s.stats.ClassCycles[CArith] += uint64(rec.Def.Cycles)
+		return baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}, nil
 	}
-	branch := func(taken bool) {
-		te.Taken = taken
-		if taken {
-			res.cycles += s.pipe.TakenPenalty
-			res.nextPC = pc + 1 + int(in.Imm)
-			s.stats.ClassCycles[CBranchTaken] += uint64(res.cycles)
-			s.pipe.Flush()
-		} else {
-			s.stats.ClassCycles[CBranchUntaken] += uint64(res.cycles)
-		}
-	}
-	jump := func(target int) {
-		res.cycles += s.pipe.JumpPenalty
-		res.nextPC = target
-		s.stats.ClassCycles[CJump] += uint64(res.cycles)
-		s.pipe.Flush()
-	}
+}
 
-	switch in.Op {
-	// --- arithmetic / logic ---
-	case isa.OpADD:
-		writeRd(rs + rt)
-	case isa.OpADDI:
-		writeRd(rs + uint32(in.Imm))
-	case isa.OpSUB:
-		writeRd(rs - rt)
-	case isa.OpNEG:
-		writeRd(-rs)
-	case isa.OpAND:
-		writeRd(rs & rt)
-	case isa.OpANDI:
-		writeRd(rs & uint32(in.Imm))
-	case isa.OpOR:
-		writeRd(rs | rt)
-	case isa.OpORI:
-		writeRd(rs | uint32(in.Imm))
-	case isa.OpXOR:
-		writeRd(rs ^ rt)
-	case isa.OpXORI:
-		writeRd(rs ^ uint32(in.Imm))
-	case isa.OpNOT:
-		writeRd(^rs)
-	case isa.OpSLL:
-		writeRd(rs << (rt & 31))
-	case isa.OpSLLI:
-		writeRd(rs << (uint32(in.Imm) & 31))
-	case isa.OpSRL:
-		writeRd(rs >> (rt & 31))
-	case isa.OpSRLI:
-		writeRd(rs >> (uint32(in.Imm) & 31))
-	case isa.OpSRA:
-		writeRd(uint32(int32(rs) >> (rt & 31)))
-	case isa.OpSRAI:
-		writeRd(uint32(int32(rs) >> (uint32(in.Imm) & 31)))
-	case isa.OpSLT:
-		writeRd(boolToU32(int32(rs) < int32(rt)))
-	case isa.OpSLTI:
-		writeRd(boolToU32(int32(rs) < in.Imm))
-	case isa.OpSLTU:
-		writeRd(boolToU32(rs < rt))
-	case isa.OpSLTIU:
-		writeRd(boolToU32(rs < uint32(in.Imm)))
-	case isa.OpMOVI:
-		writeRd(uint32(in.Imm))
-	case isa.OpMOV:
-		writeRd(rs)
-	case isa.OpMOVEQZ:
-		if rt == 0 {
-			writeRd(rs)
-		} else {
-			writeRd(s.regs[in.Rd])
+// cmov builds a conditional-move handler: Rd keeps its old value when
+// the condition on rt fails (which is why conditional moves read Rd).
+func cmov(cond func(rt uint32) bool) execFn {
+	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+		v := s.regs[rec.Instr.Rd]
+		if cond(rt) {
+			v = rs
 		}
-	case isa.OpMOVNEZ:
-		if rt != 0 {
-			writeRd(rs)
-		} else {
-			writeRd(s.regs[in.Rd])
-		}
-	case isa.OpMOVLTZ:
-		if int32(rt) < 0 {
-			writeRd(rs)
-		} else {
-			writeRd(s.regs[in.Rd])
-		}
-	case isa.OpMOVGEZ:
-		if int32(rt) >= 0 {
-			writeRd(rs)
-		} else {
-			writeRd(s.regs[in.Rd])
-		}
-	case isa.OpMUL:
-		writeRd(rs * rt)
-	case isa.OpMULH:
-		writeRd(uint32(uint64(int64(int32(rs))*int64(int32(rt))) >> 32))
-	case isa.OpMULHU:
-		writeRd(uint32(uint64(rs) * uint64(rt) >> 32))
-	case isa.OpMIN:
-		writeRd(minS(rs, rt))
-	case isa.OpMAX:
-		writeRd(maxS(rs, rt))
-	case isa.OpMINU:
-		writeRd(minU(rs, rt))
-	case isa.OpMAXU:
-		writeRd(maxU(rs, rt))
-	case isa.OpABS:
-		if int32(rs) < 0 {
-			writeRd(-rs)
-		} else {
-			writeRd(rs)
-		}
-	case isa.OpSEXT8:
-		writeRd(uint32(int32(int8(rs))))
-	case isa.OpSEXT16:
-		writeRd(uint32(int32(int16(rs))))
-	case isa.OpCLAMPS:
-		writeRd(clamps(rs, in.Imm))
-	case isa.OpNSA:
-		writeRd(nsa(rs))
-	case isa.OpNSAU:
-		writeRd(uint32(bits.LeadingZeros32(rs)))
-	case isa.OpEXTUI:
-		// Imm packs the field: bits [4:0] = shift, bits [9:5] = width-1.
-		shift := uint32(in.Imm) & 31
-		width := (uint32(in.Imm)>>5)&31 + 1
-		writeRd((rs >> shift) & ((1 << width) - 1))
-	case isa.OpNOP:
-		// nothing
+		s.regs[rec.Instr.Rd] = v
+		te.Result = v
+		s.stats.ClassCycles[CArith] += uint64(rec.Def.Cycles)
+		return baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}, nil
+	}
+}
 
-	// --- loads ---
-	case isa.OpL8UI, isa.OpL8SI, isa.OpL16UI, isa.OpL16SI, isa.OpL32I, isa.OpL32R:
-		var addr uint32
-		if in.Op == isa.OpL32R {
-			addr = uint32(in.Imm)
-		} else {
-			addr = rs + uint32(in.Imm)
+// loadOp builds a load handler. pcRel marks L32R's absolute addressing;
+// ext applies sign extension (nil for zero-extending loads).
+func loadOp(size int, ext func(v uint32) uint32, pcRel bool) execFn {
+	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
+		addr := rs + uint32(rec.Instr.Imm)
+		if pcRel {
+			addr = uint32(rec.Instr.Imm)
 		}
-		size := loadSize(in.Op)
 		v, err := s.load(addr, size)
 		if err != nil {
 			return res, err
 		}
-		switch in.Op {
-		case isa.OpL8SI:
-			v = uint32(int32(int8(v)))
-		case isa.OpL16SI:
-			v = uint32(int32(int16(v)))
+		if ext != nil {
+			v = ext(v)
 		}
 		te.Addr = addr
 		if !s.dc.Access(addr) {
@@ -186,15 +107,19 @@ func (s *Simulator) execBase(in isa.Instr, pc int, te *TraceEntry) (baseResult, 
 			res.cycles += pen
 			te.DCMiss = true
 		}
-		writeRd(v)
-		s.stats.ClassCycles[CLoad] += uint64(d.Cycles)
+		s.regs[rec.Instr.Rd] = v
+		te.Result = v
+		s.stats.ClassCycles[CLoad] += uint64(rec.Def.Cycles)
 		return res, nil
+	}
+}
 
-	// --- stores ---
-	case isa.OpS8I, isa.OpS16I, isa.OpS32I:
-		addr := rs + uint32(in.Imm)
-		size := storeSize(in.Op)
-		val := s.regs[in.Rd] // store data register is Rd
+// storeOp builds a store handler (the store data register is Rd).
+func storeOp(size int) execFn {
+	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
+		addr := rs + uint32(rec.Instr.Imm)
+		val := s.regs[rec.Instr.Rd]
 		if err := s.store(addr, size, val); err != nil {
 			return res, err
 		}
@@ -207,49 +132,106 @@ func (s *Simulator) execBase(in isa.Instr, pc int, te *TraceEntry) (baseResult, 
 			res.cycles += pen
 			te.DCMiss = true
 		}
-		s.stats.ClassCycles[CStore] += uint64(d.Cycles)
+		s.stats.ClassCycles[CStore] += uint64(rec.Def.Cycles)
 		return res, nil
+	}
+}
 
-	// --- jumps ---
-	case isa.OpJ:
-		jump(int(in.Imm))
+// brRR builds a register-register conditional branch handler; the taken
+// target comes predecoded from the plan record.
+func brRR(cond func(rs, rt uint32) bool) execFn {
+	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
+		s.branchClose(&res, rec.Target, cond(rs, rt), te)
 		return res, nil
-	case isa.OpJX:
-		if rs == haltPC {
-			res.halt = true
-			s.stats.ClassCycles[CJump] += uint64(res.cycles)
-			return res, nil
-		}
-		jump(int(rs))
-		return res, nil
-	case isa.OpCALL:
-		s.regs[0] = uint32(pc + 1)
-		jump(int(in.Imm))
-		return res, nil
-	case isa.OpCALLX:
-		s.regs[0] = uint32(pc + 1)
-		jump(int(rs))
-		return res, nil
-	case isa.OpRET:
-		target := s.regs[0]
-		if target == haltPC {
-			res.halt = true
-			s.stats.ClassCycles[CJump] += uint64(res.cycles)
-			return res, nil
-		}
-		jump(int(target))
-		return res, nil
+	}
+}
 
-	// --- zero-overhead loops (configurable option) ---
-	case isa.OpLOOP, isa.OpLOOPNEZ:
+// brSI builds a signed register-immediate branch handler; the 6-bit
+// constant carried in the Rt field is predecoded into rec.SImm.
+func brSI(cond func(rs, k int32) bool) execFn {
+	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
+		s.branchClose(&res, rec.Target, cond(int32(rs), rec.SImm), te)
+		return res, nil
+	}
+}
+
+// brRt builds a branch handler whose condition reads the raw Rt field
+// (unsigned-immediate compares and bit tests).
+func brRt(cond func(rs uint32, rtField uint8) bool) execFn {
+	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
+		s.branchClose(&res, rec.Target, cond(rs, rec.Instr.Rt), te)
+		return res, nil
+	}
+}
+
+// brZ builds a register-zero compare branch handler.
+func brZ(cond func(rs uint32) bool) execFn {
+	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
+		s.branchClose(&res, rec.Target, cond(rs), te)
+		return res, nil
+	}
+}
+
+func execJ(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+	res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
+	s.jumpClose(&res, rec.Target)
+	return res, nil
+}
+
+func execJX(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+	res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
+	if rs == haltPC {
+		res.halt = true
+		s.stats.ClassCycles[CJump] += uint64(res.cycles)
+		return res, nil
+	}
+	s.jumpClose(&res, int(rs))
+	return res, nil
+}
+
+func execCALL(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+	res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
+	s.regs[0] = uint32(pc + 1)
+	s.jumpClose(&res, rec.Target)
+	return res, nil
+}
+
+func execCALLX(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+	res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
+	s.regs[0] = uint32(pc + 1)
+	s.jumpClose(&res, int(rs))
+	return res, nil
+}
+
+func execRET(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+	res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
+	target := s.regs[0]
+	if target == haltPC {
+		res.halt = true
+		s.stats.ClassCycles[CJump] += uint64(res.cycles)
+		return res, nil
+	}
+	s.jumpClose(&res, int(target))
+	return res, nil
+}
+
+// loopOp builds the zero-overhead loop setup handler (the configurable
+// loop option); the loop end address is predecoded into rec.Target.
+func loopOp(nez bool) execFn {
+	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
 		if !s.proc.Config.HasLoops {
-			return res, newFault(FaultIllegalInstr, "illegal instruction: %s requires the zero-overhead loop option", in.Op.Name())
+			return res, newFault(FaultIllegalInstr, "illegal instruction: %s requires the zero-overhead loop option", rec.Instr.Op.Name())
 		}
-		end := pc + 1 + int(in.Imm)
+		end := rec.Target
 		if end <= pc+1 || end > len(s.prog.Code) {
-			return res, newFault(FaultIllegalInstr, "%s target %d out of range", in.Op.Name(), end)
+			return res, newFault(FaultIllegalInstr, "%s target %d out of range", rec.Instr.Op.Name(), end)
 		}
-		if in.Op == isa.OpLOOPNEZ && rs == 0 {
+		if nez && rs == 0 {
 			// Skip the body entirely; treated like a taken redirect.
 			res.cycles += s.pipe.TakenPenalty
 			res.nextPC = end
@@ -264,109 +246,129 @@ func (s *Simulator) execBase(in isa.Instr, pc int, te *TraceEntry) (baseResult, 
 		s.loopCount = rs - 1
 		s.stats.ClassCycles[CArith] += uint64(res.cycles)
 		return res, nil
+	}
+}
+
+func execNOP(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
+	s.stats.ClassCycles[CArith] += uint64(rec.Def.Cycles)
+	return baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}, nil
+}
+
+// execTable is the per-opcode dispatch table, built once. A nil entry
+// means the opcode has no base-ISA semantics (OpInvalid, and OpCUSTOM,
+// which the retire loop routes to execCustom before dispatch); hitting
+// one raises an illegal-instruction fault.
+var execTable = func() [isa.NumOpcodes]execFn {
+	var t [isa.NumOpcodes]execFn
+
+	// --- arithmetic / logic ---
+	t[isa.OpADD] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs + rt })
+	t[isa.OpADDI] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs + uint32(in.Imm) })
+	t[isa.OpSUB] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs - rt })
+	t[isa.OpNEG] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return -rs })
+	t[isa.OpAND] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs & rt })
+	t[isa.OpANDI] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs & uint32(in.Imm) })
+	t[isa.OpOR] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs | rt })
+	t[isa.OpORI] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs | uint32(in.Imm) })
+	t[isa.OpXOR] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs ^ rt })
+	t[isa.OpXORI] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs ^ uint32(in.Imm) })
+	t[isa.OpNOT] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return ^rs })
+	t[isa.OpSLL] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs << (rt & 31) })
+	t[isa.OpSLLI] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs << (uint32(in.Imm) & 31) })
+	t[isa.OpSRL] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs >> (rt & 31) })
+	t[isa.OpSRLI] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs >> (uint32(in.Imm) & 31) })
+	t[isa.OpSRA] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return uint32(int32(rs) >> (rt & 31)) })
+	t[isa.OpSRAI] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return uint32(int32(rs) >> (uint32(in.Imm) & 31)) })
+	t[isa.OpSLT] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return boolToU32(int32(rs) < int32(rt)) })
+	t[isa.OpSLTI] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return boolToU32(int32(rs) < in.Imm) })
+	t[isa.OpSLTU] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return boolToU32(rs < rt) })
+	t[isa.OpSLTIU] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return boolToU32(rs < uint32(in.Imm)) })
+	t[isa.OpMOVI] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return uint32(in.Imm) })
+	t[isa.OpMOV] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs })
+	t[isa.OpMOVEQZ] = cmov(func(rt uint32) bool { return rt == 0 })
+	t[isa.OpMOVNEZ] = cmov(func(rt uint32) bool { return rt != 0 })
+	t[isa.OpMOVLTZ] = cmov(func(rt uint32) bool { return int32(rt) < 0 })
+	t[isa.OpMOVGEZ] = cmov(func(rt uint32) bool { return int32(rt) >= 0 })
+	t[isa.OpMUL] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return rs * rt })
+	t[isa.OpMULH] = alu(func(in isa.Instr, rs, rt uint32) uint32 {
+		return uint32(uint64(int64(int32(rs))*int64(int32(rt))) >> 32)
+	})
+	t[isa.OpMULHU] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return uint32(uint64(rs) * uint64(rt) >> 32) })
+	t[isa.OpMIN] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return minS(rs, rt) })
+	t[isa.OpMAX] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return maxS(rs, rt) })
+	t[isa.OpMINU] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return minU(rs, rt) })
+	t[isa.OpMAXU] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return maxU(rs, rt) })
+	t[isa.OpABS] = alu(func(in isa.Instr, rs, rt uint32) uint32 {
+		if int32(rs) < 0 {
+			return -rs
+		}
+		return rs
+	})
+	t[isa.OpSEXT8] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return uint32(int32(int8(rs))) })
+	t[isa.OpSEXT16] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return uint32(int32(int16(rs))) })
+	t[isa.OpCLAMPS] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return clamps(rs, in.Imm) })
+	t[isa.OpNSA] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return nsa(rs) })
+	t[isa.OpNSAU] = alu(func(in isa.Instr, rs, rt uint32) uint32 { return uint32(bits.LeadingZeros32(rs)) })
+	t[isa.OpEXTUI] = alu(func(in isa.Instr, rs, rt uint32) uint32 {
+		// Imm packs the field: bits [4:0] = shift, bits [9:5] = width-1.
+		shift := uint32(in.Imm) & 31
+		width := (uint32(in.Imm)>>5)&31 + 1
+		return (rs >> shift) & ((1 << width) - 1)
+	})
+	t[isa.OpNOP] = execNOP
+
+	// --- loads / stores ---
+	sx8 := func(v uint32) uint32 { return uint32(int32(int8(v))) }
+	sx16 := func(v uint32) uint32 { return uint32(int32(int16(v))) }
+	t[isa.OpL8UI] = loadOp(1, nil, false)
+	t[isa.OpL8SI] = loadOp(1, sx8, false)
+	t[isa.OpL16UI] = loadOp(2, nil, false)
+	t[isa.OpL16SI] = loadOp(2, sx16, false)
+	t[isa.OpL32I] = loadOp(4, nil, false)
+	t[isa.OpL32R] = loadOp(4, nil, true)
+	t[isa.OpS8I] = storeOp(1)
+	t[isa.OpS16I] = storeOp(2)
+	t[isa.OpS32I] = storeOp(4)
+
+	// --- jumps and loops ---
+	t[isa.OpJ] = execJ
+	t[isa.OpJX] = execJX
+	t[isa.OpCALL] = execCALL
+	t[isa.OpCALLX] = execCALLX
+	t[isa.OpRET] = execRET
+	t[isa.OpLOOP] = loopOp(false)
+	t[isa.OpLOOPNEZ] = loopOp(true)
 
 	// --- branches: register-register ---
-	case isa.OpBEQ:
-		branch(rs == rt)
-		return res, nil
-	case isa.OpBNE:
-		branch(rs != rt)
-		return res, nil
-	case isa.OpBLT:
-		branch(int32(rs) < int32(rt))
-		return res, nil
-	case isa.OpBGE:
-		branch(int32(rs) >= int32(rt))
-		return res, nil
-	case isa.OpBLTU:
-		branch(rs < rt)
-		return res, nil
-	case isa.OpBGEU:
-		branch(rs >= rt)
-		return res, nil
-	case isa.OpBANY:
-		branch(rs&rt != 0)
-		return res, nil
-	case isa.OpBNONE:
-		branch(rs&rt == 0)
-		return res, nil
-	case isa.OpBALL:
-		branch(rs&rt == rt)
-		return res, nil
-	case isa.OpBNALL:
-		branch(rs&rt != rt)
-		return res, nil
+	t[isa.OpBEQ] = brRR(func(rs, rt uint32) bool { return rs == rt })
+	t[isa.OpBNE] = brRR(func(rs, rt uint32) bool { return rs != rt })
+	t[isa.OpBLT] = brRR(func(rs, rt uint32) bool { return int32(rs) < int32(rt) })
+	t[isa.OpBGE] = brRR(func(rs, rt uint32) bool { return int32(rs) >= int32(rt) })
+	t[isa.OpBLTU] = brRR(func(rs, rt uint32) bool { return rs < rt })
+	t[isa.OpBGEU] = brRR(func(rs, rt uint32) bool { return rs >= rt })
+	t[isa.OpBANY] = brRR(func(rs, rt uint32) bool { return rs&rt != 0 })
+	t[isa.OpBNONE] = brRR(func(rs, rt uint32) bool { return rs&rt == 0 })
+	t[isa.OpBALL] = brRR(func(rs, rt uint32) bool { return rs&rt == rt })
+	t[isa.OpBNALL] = brRR(func(rs, rt uint32) bool { return rs&rt != rt })
 
 	// --- branches: register-immediate (constant in Rt field) ---
-	case isa.OpBEQI:
-		branch(int32(rs) == signExtend6(in.Rt))
-		return res, nil
-	case isa.OpBNEI:
-		branch(int32(rs) != signExtend6(in.Rt))
-		return res, nil
-	case isa.OpBLTI:
-		branch(int32(rs) < signExtend6(in.Rt))
-		return res, nil
-	case isa.OpBGEI:
-		branch(int32(rs) >= signExtend6(in.Rt))
-		return res, nil
-	case isa.OpBLTUI:
-		branch(rs < uint32(in.Rt))
-		return res, nil
-	case isa.OpBGEUI:
-		branch(rs >= uint32(in.Rt))
-		return res, nil
+	t[isa.OpBEQI] = brSI(func(rs, k int32) bool { return rs == k })
+	t[isa.OpBNEI] = brSI(func(rs, k int32) bool { return rs != k })
+	t[isa.OpBLTI] = brSI(func(rs, k int32) bool { return rs < k })
+	t[isa.OpBGEI] = brSI(func(rs, k int32) bool { return rs >= k })
+	t[isa.OpBLTUI] = brRt(func(rs uint32, rtField uint8) bool { return rs < uint32(rtField) })
+	t[isa.OpBGEUI] = brRt(func(rs uint32, rtField uint8) bool { return rs >= uint32(rtField) })
 
 	// --- branches: register-zero and bit tests ---
-	case isa.OpBEQZ:
-		branch(rs == 0)
-		return res, nil
-	case isa.OpBNEZ:
-		branch(rs != 0)
-		return res, nil
-	case isa.OpBLTZ:
-		branch(int32(rs) < 0)
-		return res, nil
-	case isa.OpBGEZ:
-		branch(int32(rs) >= 0)
-		return res, nil
-	case isa.OpBBCI:
-		branch(rs&(1<<(in.Rt&31)) == 0)
-		return res, nil
-	case isa.OpBBSI:
-		branch(rs&(1<<(in.Rt&31)) != 0)
-		return res, nil
+	t[isa.OpBEQZ] = brZ(func(rs uint32) bool { return rs == 0 })
+	t[isa.OpBNEZ] = brZ(func(rs uint32) bool { return rs != 0 })
+	t[isa.OpBLTZ] = brZ(func(rs uint32) bool { return int32(rs) < 0 })
+	t[isa.OpBGEZ] = brZ(func(rs uint32) bool { return int32(rs) >= 0 })
+	t[isa.OpBBCI] = brRt(func(rs uint32, rtField uint8) bool { return rs&(1<<(rtField&31)) == 0 })
+	t[isa.OpBBSI] = brRt(func(rs uint32, rtField uint8) bool { return rs&(1<<(rtField&31)) != 0 })
 
-	default:
-		return res, newFault(FaultIllegalInstr, "unimplemented opcode %s", in.Op.Name())
-	}
-
-	// Fallthrough: plain arithmetic-class instructions.
-	s.stats.ClassCycles[CArith] += uint64(d.Cycles)
-	return res, nil
-}
-
-func loadSize(op isa.Opcode) int {
-	switch op {
-	case isa.OpL8UI, isa.OpL8SI:
-		return 1
-	case isa.OpL16UI, isa.OpL16SI:
-		return 2
-	default:
-		return 4
-	}
-}
-
-func storeSize(op isa.Opcode) int {
-	switch op {
-	case isa.OpS8I:
-		return 1
-	case isa.OpS16I:
-		return 2
-	default:
-		return 4
-	}
-}
+	return t
+}()
 
 func boolToU32(b bool) uint32 {
 	if b {

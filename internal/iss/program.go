@@ -13,8 +13,11 @@ package iss
 
 import (
 	"fmt"
+	"sync"
 
 	"xtenergy/internal/isa"
+	"xtenergy/internal/plan"
+	"xtenergy/internal/tie"
 )
 
 // Segment is an initialized data region of a program image.
@@ -52,6 +55,31 @@ type Program struct {
 	// Nil means no source information; otherwise it must have the same
 	// length as Code.
 	Lines []int
+
+	// Cached predecoded plan (see Plan). Guarded by planMu; keyed by the
+	// compiled extension it was resolved against.
+	planMu   sync.Mutex
+	planComp *tie.Compiled
+	plan     *plan.Plan
+}
+
+// Plan returns the program's predecoded instruction plan resolved
+// against comp, building it on first use and caching it afterwards. The
+// returned plan is immutable, so one build amortizes across every
+// consumer of the same program/extension pair — repeated simulator runs,
+// the parallel characterization workers, xlint, and the reference
+// estimator all share it. A different comp (or nil) rebuilds.
+//
+// Callers must not mutate Code, Uncached, or CodeBase after the first
+// Plan call: the cached records would go stale.
+func (p *Program) Plan(comp *tie.Compiled) *plan.Plan {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	if p.plan == nil || p.planComp != comp {
+		p.plan = plan.Build(p.Code, p.CodeBase, p.Uncached, comp)
+		p.planComp = comp
+	}
+	return p.plan
 }
 
 // Line returns the 1-based source line of instruction index i, or 0 when

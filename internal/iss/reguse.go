@@ -2,130 +2,20 @@ package iss
 
 import (
 	"xtenergy/internal/isa"
+	"xtenergy/internal/plan"
 	"xtenergy/internal/tie"
 )
 
-// RegUse describes the general-register ports of one instruction: the
-// full architectural read/write sets (what the execution stage actually
-// touches) and the narrower hazard view (what the pipeline interlock
-// comparator latches off the operand buses). The two differ: a store
-// reads its data register Rd and RET reads the link register a0 in the
-// execute stage, but neither arms the interlock comparator, while an
-// immediate-form custom instruction carries a constant in its Rt field
-// that must not be treated as a register read at all.
-//
-// The simulator's hazard detection and the xlint static analyzer both
-// derive their register model from RegUseOf, so the two can never
-// disagree about what an instruction reads or writes.
-type RegUse struct {
-	// Reads and Writes are bitmasks over the 64 general registers
-	// (bit r set = register ar is read/written architecturally).
-	Reads, Writes uint64
+// RegUse is the register-port model of one instruction. It is defined in
+// internal/plan — the predecoded program IR every per-instruction
+// consumer shares — and aliased here for the simulator's public API.
+type RegUse = plan.RegUse
 
-	// ReadsRs and ReadsRt report whether the Rs/Rt instruction fields
-	// name register operands latched from the shared operand buses —
-	// the ports the interlock comparator watches. False for immediate
-	// fields (e.g. the Rt constant of branch-immediate forms and of
-	// immediate-form TIE instructions).
-	ReadsRs, ReadsRt bool
-	// WritesRd reports whether the Rd field names a written register.
-	WritesRd bool
-	// IsLoad and IsMult classify the producer side of the two interlock
-	// hazards (load-use and iterative-multiply-use).
-	IsLoad, IsMult bool
-}
-
-// regBit returns the bitmask bit for register r, tolerating out-of-range
-// encodings (they contribute no bit; xlint flags them separately).
-func regBit(r uint8) uint64 {
-	if int(r) >= isa.NumRegs {
-		return 0
-	}
-	return 1 << r
-}
-
-// RegUseOf computes the register ports of in. The compiled extension
-// supplies the port declarations of custom instructions; it may be nil
-// (or base-only) in which case custom instructions report no ports —
-// exactly what the simulator's hazard logic assumes before it errors
-// out on the undefined extension.
+// RegUseOf computes the register ports of in. It is a thin wrapper over
+// the plan-level derivation: the simulator executes from predecoded plan
+// records whose Use field is produced by exactly this function, so the
+// hazard model seen by callers (xlint's validation tests, dynamic
+// resource analysis) can never disagree with what the pipeline did.
 func RegUseOf(comp *tie.Compiled, in isa.Instr) RegUse {
-	var u RegUse
-	if in.IsCustom() {
-		rs, rt := customRegReads(comp, in)
-		u.ReadsRs, u.ReadsRt = rs, rt
-		if rs {
-			u.Reads |= regBit(in.Rs)
-		}
-		if rt {
-			u.Reads |= regBit(in.Rt)
-		}
-		if customWritesGeneral(comp, in) {
-			u.WritesRd = true
-			u.Writes |= regBit(in.Rd)
-		}
-		return u
-	}
-
-	d, ok := isa.Lookup(in.Op)
-	if !ok {
-		return u
-	}
-	u.ReadsRs, u.ReadsRt, u.WritesRd = d.ReadsRs, d.ReadsRt, d.WritesRd
-	u.IsLoad = d.Class == isa.ClassLoad
-	u.IsMult = in.Op == isa.OpMUL || in.Op == isa.OpMULH || in.Op == isa.OpMULHU
-	if d.ReadsRs {
-		u.Reads |= regBit(in.Rs)
-	}
-	if d.ReadsRt {
-		u.Reads |= regBit(in.Rt)
-	}
-	if d.WritesRd {
-		u.Writes |= regBit(in.Rd)
-	}
-
-	// Architectural reads and writes beyond the bus-latched operands.
-	switch in.Op {
-	case isa.OpS8I, isa.OpS16I, isa.OpS32I:
-		// The store data register is Rd.
-		u.Reads |= regBit(in.Rd)
-	case isa.OpMOVEQZ, isa.OpMOVNEZ, isa.OpMOVLTZ, isa.OpMOVGEZ:
-		// Conditional moves keep the old Rd value when the condition
-		// fails, so they read Rd.
-		u.Reads |= regBit(in.Rd)
-	case isa.OpRET:
-		// RET jumps through the link register a0.
-		u.Reads |= 1 << 0
-	case isa.OpCALL, isa.OpCALLX:
-		// Calls write the return address to a0.
-		u.Writes |= 1 << 0
-	}
-	return u
-}
-
-// customRegReads reports which general-register operand fields a custom
-// instruction actually reads. For the immediate form, the Rt field
-// carries a 6-bit signed constant (see execCustom), not a register
-// number, so it must not arm the interlock comparator: treating it as a
-// register read produced phantom interlock stalls whenever the constant
-// happened to equal the previous load/mult destination, inflating N_ilk.
-func customRegReads(comp *tie.Compiled, in isa.Instr) (rs, rt bool) {
-	if comp == nil || !in.IsCustom() {
-		return false, false
-	}
-	ci, err := comp.Instruction(in.CustomID)
-	if err != nil || !ci.ReadsGeneral {
-		return false, false
-	}
-	return true, !ci.ImmOperand
-}
-
-// customWritesGeneral reports whether a custom instruction writes its
-// result to the general register file.
-func customWritesGeneral(comp *tie.Compiled, in isa.Instr) bool {
-	if comp == nil || !in.IsCustom() {
-		return false
-	}
-	ci, err := comp.Instruction(in.CustomID)
-	return err == nil && ci.WritesGeneral
+	return plan.RegUseOf(comp, in)
 }

@@ -7,6 +7,7 @@ import (
 	"xtenergy/internal/cache"
 	"xtenergy/internal/isa"
 	"xtenergy/internal/pipeline"
+	"xtenergy/internal/plan"
 	"xtenergy/internal/procgen"
 	"xtenergy/internal/tie"
 )
@@ -100,6 +101,7 @@ type Simulator struct {
 	pipe   *pipeline.Model
 
 	prog  *Program
+	plan  *plan.Plan
 	stats Stats
 	trace []TraceEntry
 
@@ -107,6 +109,12 @@ type Simulator struct {
 	// run; batch is the reusable fixed-size delivery buffer.
 	sink  func(batch []TraceEntry) error
 	batch []TraceEntry
+
+	// entry is the scratch trace entry for the step in flight. It lives
+	// on the simulator (not the step frame) because its address crosses
+	// the indirect exec-table call, which would otherwise force a heap
+	// allocation per retired instruction.
+	entry TraceEntry
 
 	// Uninitialized-read tracking (Options.RecordUninitReads): written is
 	// the bitmask of registers written so far, uninit the recorded reads,
@@ -285,6 +293,7 @@ func (s *Simulator) UninitReads() []UninitRead { return s.uninit }
 
 func (s *Simulator) reset(prog *Program) {
 	s.prog = prog
+	s.plan = prog.Plan(s.proc.TIE)
 	s.regs = [isa.NumRegs]uint32{}
 	s.regs[0] = haltPC // link register sentinel: top-level ret halts
 	for i := range s.mem {
@@ -310,23 +319,27 @@ func (s *Simulator) reset(prog *Program) {
 	s.trace = nil
 }
 
-// step retires the instruction at pc and returns the next pc.
+// step retires the instruction at pc and returns the next pc. All
+// static per-instruction metadata — register ports, hazard view, fetch
+// address, branch targets, custom-instruction attributes — comes from
+// the predecoded plan record; the loop only computes what depends on
+// dynamic state.
 func (s *Simulator) step(pc int, collect bool) (next int, halt bool, err error) {
-	in := s.prog.Code[pc]
-	u := RegUseOf(s.proc.TIE, in)
+	rec := &s.plan.Recs[pc]
+	in := rec.Instr
 
-	var te TraceEntry
+	te := &s.entry
+	*te = TraceEntry{}
 	cycles := 0
 
 	// --- Fetch ---
-	if s.prog.IsUncached(pc) {
+	if rec.Uncached {
 		s.stats.UncachedFetches++
 		s.stats.StallCycles += UncachedFetchPenalty
 		cycles += UncachedFetchPenalty
 		te.Uncached = true
 	} else {
-		addr := s.prog.CodeBase + uint32(pc)*isa.WordBytes
-		if !s.ic.Access(addr) {
+		if !s.ic.Access(rec.FetchAddr) {
 			s.stats.ICacheMisses++
 			pen := s.ic.MissPenalty()
 			s.stats.StallCycles += uint64(pen)
@@ -336,16 +349,7 @@ func (s *Simulator) step(pc int, collect bool) (next int, halt bool, err error) 
 	}
 
 	// --- Interlock detection ---
-	stall := s.pipe.Interlock(pipeline.Use{
-		ReadsRs:  u.ReadsRs,
-		ReadsRt:  u.ReadsRt,
-		Rs:       in.Rs,
-		Rt:       in.Rt,
-		IsLoad:   u.IsLoad,
-		IsMult:   u.IsMult,
-		WritesRd: u.WritesRd,
-		Rd:       in.Rd,
-	})
+	stall := s.pipe.Interlock(rec.PUse)
 	if stall > 0 {
 		s.stats.Interlocks++
 		s.stats.StallCycles += uint64(stall)
@@ -358,7 +362,7 @@ func (s *Simulator) step(pc int, collect bool) (next int, halt bool, err error) 
 	s.stats.OpcodeExec[in.Op]++
 
 	if s.trackInit {
-		if unread := u.Reads &^ s.written &^ s.uninitSeen[pc]; unread != 0 {
+		if unread := rec.Use.Reads &^ s.written &^ s.uninitSeen[pc]; unread != 0 {
 			s.uninitSeen[pc] |= unread
 			for r := 0; r < isa.NumRegs; r++ {
 				if unread&(1<<r) != 0 {
@@ -366,27 +370,38 @@ func (s *Simulator) step(pc int, collect bool) (next int, halt bool, err error) 
 				}
 			}
 		}
-		s.written |= u.Writes
+		s.written |= rec.Use.Writes
 	}
 
 	if in.IsCustom() {
-		n, err := s.execCustom(in, &te)
+		n, err := s.execCustom(rec, te)
 		if err != nil {
 			return 0, false, err
 		}
 		cycles += n
-		if err := s.finishEntry(&te, pc, in, cycles, collect); err != nil {
+		if err := s.finishEntry(te, pc, in, cycles, collect); err != nil {
 			return 0, false, err
 		}
 		return s.loopBack(pc + 1), false, nil
 	}
 
-	r, err := s.execBase(in, pc, &te)
+	// The operand registers are latched unconditionally, exactly as the
+	// operand buses do: an out-of-range register encoding faults here,
+	// before dispatch, for every base instruction.
+	rs := s.regs[in.Rs]
+	rt := s.regs[in.Rt]
+	te.RsVal, te.RtVal = rs, rt
+
+	fn := execTable[in.Op]
+	if fn == nil {
+		return 0, false, newFault(FaultIllegalInstr, "unimplemented opcode %s", in.Op.Name())
+	}
+	r, err := fn(s, rec, pc, rs, rt, te)
 	if err != nil {
 		return 0, false, err
 	}
 	cycles += r.cycles
-	if err := s.finishEntry(&te, pc, in, cycles, collect); err != nil {
+	if err := s.finishEntry(te, pc, in, cycles, collect); err != nil {
 		return 0, false, err
 	}
 	if r.halt {
@@ -409,10 +424,15 @@ func (s *Simulator) loopBack(next int) int {
 	return next
 }
 
-// execCustom executes a TIE instruction and returns its cycle cost.
-func (s *Simulator) execCustom(in isa.Instr, te *TraceEntry) (int, error) {
-	ci, err := s.proc.TIE.Instruction(in.CustomID)
-	if err != nil {
+// execCustom executes a TIE instruction and returns its cycle cost. The
+// plan record carries the resolved instruction and its predecoded
+// immediate; an unresolved record (undefined custom ID) re-queries the
+// extension on the cold path so the fault wraps the original error.
+func (s *Simulator) execCustom(rec *plan.Rec, te *TraceEntry) (int, error) {
+	in := rec.Instr
+	ci := rec.CI
+	if ci == nil {
+		_, err := s.proc.TIE.Instruction(in.CustomID)
 		f := newFault(FaultIllegalInstr, "custom instruction not in extension")
 		f.Err = err
 		return 0, f
@@ -420,8 +440,8 @@ func (s *Simulator) execCustom(in isa.Instr, te *TraceEntry) (int, error) {
 	ops := tie.Operands{Rd: in.Rd, Rs: in.Rs, Rt: in.Rt, Imm: in.Imm}
 	if ci.ImmOperand {
 		// The Rt field carries a 6-bit signed constant decoded by the
-		// generated immediate-generation logic.
-		ops.Imm = int32(int8(in.Rt<<2)) >> 2
+		// generated immediate-generation logic (plan.DecodeImm6).
+		ops.Imm = rec.SImm
 	}
 	if ci.ReadsGeneral {
 		ops.RsVal = s.regs[in.Rs]

@@ -18,6 +18,7 @@ import (
 	"xtenergy/internal/core"
 	"xtenergy/internal/isa"
 	"xtenergy/internal/iss"
+	"xtenergy/internal/plan"
 	"xtenergy/internal/procgen"
 )
 
@@ -74,14 +75,25 @@ func Profile(model *core.MacroModel, proc *procgen.Processor, prog *iss.Program,
 
 	icPen := proc.Config.ICache.MissPenalty
 	dcPen := proc.Config.DCache.MissPenalty
+	pl := prog.Plan(proc.TIE)
 
 	perPC := make(map[int]*Line)
 	var totalPJ float64
 	var totalCycles uint64
 
+	var scratch plan.Rec
 	for i := range trace {
 		te := &trace[i]
-		pj, err := entryEnergy(model, proc, te, icPen, dcPen)
+		rec := pl.Rec(int(te.PC))
+		if rec == nil || rec.Instr != te.Instr {
+			// The entry no longer matches its plan record (e.g. a trace
+			// altered by a fault-injection harness): the entry's own
+			// instruction stays authoritative, priced via a standalone
+			// record.
+			scratch = plan.Describe(proc.TIE, te.Instr)
+			rec = &scratch
+		}
+		pj, err := entryEnergy(model, proc, pl, rec, te, icPen, dcPen)
 		if err != nil {
 			return nil, err
 		}
@@ -108,8 +120,10 @@ func Profile(model *core.MacroModel, proc *procgen.Processor, prog *iss.Program,
 }
 
 // entryEnergy prices one retired instruction: its contribution to each
-// macro-model variable, dotted with the fitted coefficients.
-func entryEnergy(model *core.MacroModel, proc *procgen.Processor, te *iss.TraceEntry, icPen, dcPen int) (float64, error) {
+// macro-model variable, dotted with the fitted coefficients. rec is the
+// instruction's plan record (or a Describe fallback for entries that no
+// longer match the program).
+func entryEnergy(model *core.MacroModel, proc *procgen.Processor, pl *plan.Plan, rec *plan.Rec, te *iss.TraceEntry, icPen, dcPen int) (float64, error) {
 	var v core.Vars
 	in := te.Instr
 
@@ -128,19 +142,18 @@ func entryEnergy(model *core.MacroModel, proc *procgen.Processor, te *iss.TraceE
 	}
 
 	if in.IsCustom() {
-		ci, err := proc.TIE.Instruction(in.CustomID)
-		if err != nil {
+		ci := rec.CI
+		if ci == nil {
+			// Cold path: re-query the extension so callers get the
+			// original undefined-instruction error.
+			_, err := proc.TIE.Instruction(in.CustomID)
 			return 0, err
 		}
-		if ci.AccessesGeneralRegfile() {
+		if rec.RegfileActive {
 			v[core.VCustomSideEffect] = float64(ci.Latency)
 		}
-		w, err := proc.TIE.CategoryActiveWeights(in.CustomID)
-		if err != nil {
-			return 0, err
-		}
-		for k := range w {
-			v[core.VCustomBase+k] = w[k] * float64(ci.Latency)
+		for k := range rec.CustomWeights {
+			v[core.VCustomBase+k] = rec.CustomWeights[k] * float64(ci.Latency)
 		}
 		return model.EstimatePJ(v), nil
 	}
@@ -163,13 +176,13 @@ func entryEnergy(model *core.MacroModel, proc *procgen.Processor, te *iss.TraceE
 	if classCycles < 0 {
 		classCycles = 0
 	}
-	switch isa.ClassOf(in.Op) {
+	switch rec.Def.Class {
 	case isa.ClassArith:
 		v[core.VArith] = float64(classCycles)
-		// Base-to-custom side effect: bus-tapped components.
-		bw := proc.TIE.BusTapWeights()
-		for k := range bw {
-			v[core.VCustomBase+k] += bw[k]
+		// Base-to-custom side effect: bus-tapped components (hoisted to
+		// one plan-level precomputation instead of a per-entry query).
+		for k := range pl.BusTap {
+			v[core.VCustomBase+k] += pl.BusTap[k]
 		}
 	case isa.ClassLoad:
 		v[core.VLoad] = float64(classCycles)

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"xtenergy/internal/isa"
 	"xtenergy/internal/iss"
 	"xtenergy/internal/procgen"
 )
@@ -116,19 +115,6 @@ func (e *Estimator) EstimateTrace(trace []iss.TraceEntry) (Report, error) {
 		return Report{}, err
 	}
 	return s.Finish()
-}
-
-func isMult(op isa.Opcode) bool {
-	return op == isa.OpMUL || op == isa.OpMULH || op == isa.OpMULHU
-}
-
-func isShift(op isa.Opcode) bool {
-	switch op {
-	case isa.OpSLL, isa.OpSLLI, isa.OpSRL, isa.OpSRLI, isa.OpSRA, isa.OpSRAI,
-		isa.OpEXTUI, isa.OpNSA, isa.OpNSAU:
-		return true
-	}
-	return false
 }
 
 // EstimateProgram runs the full "slow path" (RTL simulation of the

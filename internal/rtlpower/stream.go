@@ -9,6 +9,7 @@ import (
 
 	"xtenergy/internal/isa"
 	"xtenergy/internal/iss"
+	"xtenergy/internal/plan"
 	"xtenergy/internal/procgen"
 )
 
@@ -40,6 +41,13 @@ type StreamEstimator struct {
 	prev     iss.TraceEntry
 	havePrev bool
 
+	// pl is the predecoded plan of the program being streamed, attached
+	// by RunStreamed; entries are priced from its records. When nil (or
+	// when an entry no longer matches its record), consumeEntry falls
+	// back to describing the entry's instruction into scratch.
+	pl      *plan.Plan
+	scratch plan.Rec
+
 	icPen, dcPen int
 }
 
@@ -65,6 +73,21 @@ func (s *StreamEstimator) Consume(batch []iss.TraceEntry) error {
 		}
 	}
 	return nil
+}
+
+// recFor returns the plan record describing te's instruction: the
+// prebuilt record when the entry still matches the attached plan, or a
+// standalone description into the estimator's scratch record otherwise
+// (no plan attached, or a trace altered by a fault-injection harness —
+// the entry's own instruction stays authoritative). Allocates nothing.
+func (s *StreamEstimator) recFor(te *iss.TraceEntry) *plan.Rec {
+	if s.pl != nil {
+		if r := s.pl.Rec(int(te.PC)); r != nil && r.Instr == te.Instr {
+			return r
+		}
+	}
+	s.scratch = plan.Describe(s.e.proc.TIE, te.Instr)
+	return &s.scratch
 }
 
 // consumeEntry simulates every structural block for every cycle of one
@@ -97,8 +120,9 @@ func (s *StreamEstimator) consumeEntry(te *iss.TraceEntry) error {
 	}
 	activity := s.activity
 
-	in := te.Instr
-	d := in.Def()
+	rec := s.recFor(te)
+	in := rec.Instr
+	d := rec.Def
 
 	// Always-on blocks.
 	activity[idx[procgen.BlockClock]] = cyc
@@ -119,33 +143,30 @@ func (s *StreamEstimator) consumeEntry(te *iss.TraceEntry) error {
 	}
 
 	// Register file.
-	regfileActive := d.ReadsRs || d.ReadsRt || d.WritesRd
-	if in.IsCustom() {
-		if ci, err := e.proc.TIE.Instruction(in.CustomID); err == nil {
-			regfileActive = ci.AccessesGeneralRegfile()
-		}
-	}
-	if regfileActive {
+	if rec.RegfileActive {
 		activity[idx[procgen.BlockRegfile]] = 1
 	}
 
 	// Execution units and memory pipeline.
 	switch {
 	case in.IsCustom():
-		ci, err := e.proc.TIE.Instruction(in.CustomID)
-		if err != nil {
+		ci := rec.CI
+		if ci == nil {
+			// Cold path: re-query the extension so callers get the
+			// original undefined-instruction error.
+			_, err := e.proc.TIE.Instruction(in.CustomID)
 			return err
 		}
-		for _, ci2 := range e.proc.TIE.ActiveByInstr[in.CustomID] {
+		for _, ci2 := range rec.Active {
 			activity[e.proc.CustomBlockBase+ci2] += ci.Latency
 		}
-	case isMult(in.Op):
+	case rec.IsMult:
 		if mi, ok := idx[procgen.BlockMult]; ok {
 			activity[mi] = d.Cycles
 		} else {
 			activity[idx[procgen.BlockALU]] = d.Cycles
 		}
-	case isShift(in.Op):
+	case rec.IsShift:
 		activity[idx[procgen.BlockShifter]] = 1
 	case d.Class == isa.ClassArith:
 		activity[idx[procgen.BlockALU]] = d.Cycles
@@ -285,6 +306,9 @@ func safeConsume(c Consumer, batch []iss.TraceEntry) (err error) {
 // goroutine and both channels are always drained before RunStreamed
 // returns — cancellation leaks nothing.
 func RunStreamed(ctx context.Context, sim *iss.Simulator, prog *iss.Program, opts iss.Options, c Consumer) (*iss.Result, error) {
+	if st, ok := c.(*StreamEstimator); ok && st.pl == nil {
+		st.pl = prog.Plan(st.e.proc.TIE)
+	}
 	free := make(chan []iss.TraceEntry, streamBatchBuffers)
 	for i := 0; i < streamBatchBuffers; i++ {
 		free <- make([]iss.TraceEntry, 0, iss.TraceBatchSize)

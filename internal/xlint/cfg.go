@@ -5,6 +5,7 @@ import (
 
 	"xtenergy/internal/isa"
 	"xtenergy/internal/iss"
+	"xtenergy/internal/plan"
 	"xtenergy/internal/tie"
 )
 
@@ -89,7 +90,12 @@ type Loop struct {
 
 // CFG is the basic-block control-flow graph of a program.
 type CFG struct {
-	Prog   *iss.Program
+	Prog *iss.Program
+	// Plan is the predecoded instruction plan the graph was built from;
+	// every downstream analysis (dataflow, interlocks, energy bounds)
+	// reads instruction metadata from its records rather than re-deriving
+	// it, so the static analyses and the simulator share one decode.
+	Plan   *plan.Plan
 	Blocks []*Block
 	Loops  []Loop
 	// IndirectTargets is the over-approximated target set of JX/CALLX:
@@ -125,7 +131,8 @@ func (c *CFG) Entry() *Block { return c.BlockAt(c.Prog.Entry) }
 // as errors separately — so the graph is always well formed.
 func BuildCFG(prog *iss.Program, comp *tie.Compiled) *CFG {
 	n := len(prog.Code)
-	cfg := &CFG{Prog: prog, byPC: make([]int, n)}
+	pl := prog.Plan(comp)
+	cfg := &CFG{Prog: prog, Plan: pl, byPC: make([]int, n)}
 
 	// Indirect-target over-approximation: labels and call return sites.
 	seen := make(map[int]bool)
@@ -144,24 +151,25 @@ func BuildCFG(prog *iss.Program, comp *tie.Compiled) *CFG {
 	}
 	mark(0)
 	mark(prog.Entry)
-	for pc, in := range prog.Code {
-		d, ok := isa.Lookup(in.Op)
-		if !ok {
+	for pc := range prog.Code {
+		rec := &pl.Recs[pc]
+		in := rec.Instr
+		if !rec.Valid {
 			continue
 		}
 		switch {
 		case in.Op == isa.OpLOOP || in.Op == isa.OpLOOPNEZ:
-			begin, end := pc+1, pc+1+int(in.Imm)
+			begin, end := pc+1, rec.Target
 			mark(begin)
 			mark(end)
 			if end > pc+1 && end <= n {
 				cfg.Loops = append(cfg.Loops, Loop{At: pc, Begin: begin, End: end})
 			}
-		case d.Format == isa.FormatBranchRR || d.Format == isa.FormatBranchRI || d.Format == isa.FormatBranchR:
-			mark(pc + 1 + int(in.Imm))
+		case rec.Def.Class == isa.ClassBranch:
+			mark(rec.Target)
 			mark(pc + 1)
 		case in.Op == isa.OpJ:
-			mark(int(in.Imm))
+			mark(rec.Target)
 			mark(pc + 1)
 		case in.Op == isa.OpCALL, in.Op == isa.OpCALLX:
 			if in.Op == isa.OpCALL {
@@ -190,11 +198,12 @@ func BuildCFG(prog *iss.Program, comp *tie.Compiled) *CFG {
 	// can clobber a0, a RET goes to a return site or the exit — never to
 	// an arbitrary label.
 	retTargets := cfg.ReturnSites
-	for _, in := range prog.Code {
+	for pc := range prog.Code {
+		in := pl.Recs[pc].Instr
 		if in.Op == isa.OpCALL || in.Op == isa.OpCALLX {
 			continue
 		}
-		clobbers := iss.RegUseOf(comp, in).Writes&1 != 0
+		clobbers := pl.Recs[pc].Use.Writes&1 != 0
 		if in.IsCustom() && comp == nil && in.Rd == 0 {
 			clobbers = true // unknown extension: assume the worst
 		}
@@ -243,9 +252,9 @@ func BuildCFG(prog *iss.Program, comp *tie.Compiled) *CFG {
 	}
 	for _, b := range cfg.Blocks {
 		last := b.End - 1
-		in := prog.Code[last]
-		d, ok := isa.Lookup(in.Op)
-		if !ok {
+		rec := &pl.Recs[last]
+		in := rec.Instr
+		if !rec.Valid {
 			addEdge(b, b.End, EdgeFall)
 			continue
 		}
@@ -254,12 +263,12 @@ func BuildCFG(prog *iss.Program, comp *tie.Compiled) *CFG {
 			addEdge(b, b.End, EdgeFall)
 		case in.Op == isa.OpLOOPNEZ:
 			addEdge(b, b.End, EdgeFall)
-			addEdge(b, last+1+int(in.Imm), EdgeLoopSkip)
-		case d.Format == isa.FormatBranchRR || d.Format == isa.FormatBranchRI || d.Format == isa.FormatBranchR:
-			addEdge(b, last+1+int(in.Imm), EdgeTaken)
+			addEdge(b, rec.Target, EdgeLoopSkip)
+		case rec.Def.Class == isa.ClassBranch:
+			addEdge(b, rec.Target, EdgeTaken)
 			addEdge(b, b.End, EdgeUntaken)
 		case in.Op == isa.OpJ || in.Op == isa.OpCALL:
-			addEdge(b, int(in.Imm), EdgeJump)
+			addEdge(b, rec.Target, EdgeJump)
 		case in.Op == isa.OpJX || in.Op == isa.OpRET:
 			targets := cfg.IndirectTargets
 			if in.Op == isa.OpRET {

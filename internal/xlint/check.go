@@ -2,7 +2,7 @@ package xlint
 
 import (
 	"xtenergy/internal/isa"
-	"xtenergy/internal/iss"
+	"xtenergy/internal/plan"
 	"xtenergy/internal/procgen"
 )
 
@@ -15,11 +15,12 @@ import (
 func checkInstructions(r *Report, proc *procgen.Processor) {
 	prog := r.Prog
 	n := len(prog.Code)
-	comp := proc.TIE
-	for pc, in := range prog.Code {
+	for pc := range prog.Code {
+		rec := &r.CFG.Plan.Recs[pc]
+		in := rec.Instr
 		if in.IsCustom() {
-			ci, err := comp.Instruction(in.CustomID)
-			if err != nil {
+			ci := rec.CI
+			if ci == nil {
 				r.add("tie-undefined", SevError, pc, -1,
 					"custom instruction id %d is not defined by the compiled extension", in.CustomID)
 				continue
@@ -40,23 +41,23 @@ func checkInstructions(r *Report, proc *procgen.Processor) {
 			}
 			// The immediate form decodes a 6-bit signed constant from the
 			// Rt field; higher bits are silently truncated by the decoder.
-			if ci.ImmOperand && in.Rt >= 1<<6 {
+			if ci.ImmOperand && in.Rt >= 1<<plan.Imm6Bits {
 				r.add("tie-operand", SevError, pc, -1,
-					"%s immediate field %#x overflows the 6-bit operand encoding", ci.Name, in.Rt)
+					"%s immediate field %#x overflows the %d-bit operand encoding", ci.Name, in.Rt, plan.Imm6Bits)
 			}
 			continue
 		}
 
-		d, ok := isa.Lookup(in.Op)
-		if !ok {
+		if !rec.Valid {
 			r.add("tie-undefined", SevError, pc, -1, "invalid opcode %d", in.Op)
 			continue
 		}
+		d := rec.Def
 		// The base execution path unconditionally latches regs[Rs] and
 		// regs[Rt] onto the operand buses, so those fields must encode
 		// valid registers even when unused; Rd is indexed only when the
 		// instruction reads or writes it architecturally.
-		u := iss.RegUseOf(comp, in)
+		u := rec.Use
 		if int(in.Rs) >= isa.NumRegs {
 			r.add("reg-range", SevError, pc, int(in.Rs),
 				"%s rs field a%d beyond the %d-entry register file", d.Name, in.Rs, isa.NumRegs)

@@ -2,12 +2,11 @@ package xlint
 
 import (
 	"xtenergy/internal/isa"
-	"xtenergy/internal/iss"
 	"xtenergy/internal/procgen"
 )
 
 // Register sets are uint64 bitmasks over the 64 general registers,
-// matching iss.RegUse.
+// matching plan.RegUse.
 
 // allRegs has every register bit set.
 const allRegs = ^uint64(0)
@@ -25,7 +24,6 @@ const entryInit = uint64(1) << 0
 // execute cannot read anything.
 func analyzeInit(r *Report, proc *procgen.Processor) {
 	cfg := r.CFG
-	comp := proc.TIE
 	nb := len(cfg.Blocks)
 	if nb == 0 {
 		return
@@ -36,7 +34,7 @@ func analyzeInit(r *Report, proc *procgen.Processor) {
 	for _, b := range cfg.Blocks {
 		var w uint64
 		for pc := b.Start; pc < b.End; pc++ {
-			w |= iss.RegUseOf(comp, cfg.Prog.Code[pc]).Writes
+			w |= cfg.Plan.Recs[pc].Use.Writes
 		}
 		writes[b.ID] = w
 	}
@@ -80,7 +78,7 @@ func analyzeInit(r *Report, proc *procgen.Processor) {
 	for _, b := range order {
 		must, may := mustIn[b.ID], mayIn[b.ID]
 		for pc := b.Start; pc < b.End; pc++ {
-			u := iss.RegUseOf(comp, cfg.Prog.Code[pc])
+			u := cfg.Plan.Recs[pc].Use
 			if bad := u.Reads &^ may; bad != 0 {
 				for reg := 0; reg < isa.NumRegs; reg++ {
 					if bad&(1<<reg) != 0 {
@@ -108,7 +106,6 @@ func analyzeInit(r *Report, proc *procgen.Processor) {
 // result of a run, so only values dead *within* the program are flagged.
 func analyzeDeadWrites(r *Report, proc *procgen.Processor) {
 	cfg := r.CFG
-	comp := proc.TIE
 	nb := len(cfg.Blocks)
 	if nb == 0 {
 		return
@@ -132,7 +129,7 @@ func analyzeDeadWrites(r *Report, proc *procgen.Processor) {
 	scan := func(b *Block, out uint64) uint64 {
 		live := out
 		for pc := b.End - 1; pc >= b.Start; pc-- {
-			u := iss.RegUseOf(comp, cfg.Prog.Code[pc])
+			u := cfg.Plan.Recs[pc].Use
 			live = (live &^ u.Writes) | u.Reads
 		}
 		return live
@@ -156,8 +153,8 @@ func analyzeDeadWrites(r *Report, proc *procgen.Processor) {
 		// Walk backward so each write is judged against liveness just
 		// after it; collect findings forward-ordered by the final sort.
 		for pc := b.End - 1; pc >= b.Start; pc-- {
-			in := cfg.Prog.Code[pc]
-			u := iss.RegUseOf(comp, in)
+			in := cfg.Plan.Recs[pc].Instr
+			u := cfg.Plan.Recs[pc].Use
 			if u.WritesRd && int(in.Rd) < isa.NumRegs && live&(1<<in.Rd) == 0 {
 				r.add("dead-write", SevWarn, pc, int(in.Rd),
 					"a%d is overwritten on every path before being read", in.Rd)

@@ -44,18 +44,18 @@ type Bounds struct {
 func ComputeBounds(cfg *CFG, proc *procgen.Processor) (*Bounds, error) {
 	comp := proc.TIE
 	pipe := pipeline.New()
-	bw := comp.BusTapWeights()
-	hasTaps := len(comp.BusTapped) > 0
+	pl := cfg.Plan
 
 	b := &Bounds{CFG: cfg, Block: make([]VarBounds, len(cfg.Blocks))}
 	for _, blk := range cfg.Blocks {
 		vb := &b.Block[blk.ID]
 		for pc := blk.Start; pc < blk.End; pc++ {
-			in := cfg.Prog.Code[pc]
+			rec := &pl.Recs[pc]
+			in := rec.Instr
 
 			// Fetch: uncached fetches are certain; cached fetches may
 			// miss the I-cache depending on history.
-			if cfg.Prog.IsUncached(pc) {
+			if rec.Uncached {
 				vb.addExact(core.VUncachedFetch, 1)
 			} else {
 				vb.addRange(core.VICacheMiss, 0, 1)
@@ -65,45 +65,44 @@ func ComputeBounds(cfg *CFG, proc *procgen.Processor) (*Bounds, error) {
 			// execution; the block's first instruction stalls depending
 			// on which predecessor path entered.
 			if pc > blk.Start {
-				prod, cons := cfg.Prog.Code[pc-1], in
-				if hazardBetween(iss.RegUseOf(comp, prod), iss.RegUseOf(comp, cons), prod.Rd, cons.Rs, cons.Rt) {
+				prev := &pl.Recs[pc-1]
+				if hazardBetween(prev.Use, rec.Use, prev.Instr.Rd, in.Rs, in.Rt) {
 					vb.addExact(core.VInterlock, 1)
 				}
-			} else if guaranteed, possible := entryHazard(cfg, comp, blk); guaranteed {
+			} else if guaranteed, possible := entryHazard(cfg, blk); guaranteed {
 				vb.addExact(core.VInterlock, 1)
 			} else if possible {
 				vb.addRange(core.VInterlock, 0, 1)
 			}
 
 			if in.IsCustom() {
-				ci, err := comp.Instruction(in.CustomID)
-				if err != nil {
+				ci := rec.CI
+				if ci == nil {
+					// Cold path: re-query the extension so the error wraps
+					// the original cause, exactly as before.
+					_, err := comp.Instruction(in.CustomID)
 					return nil, fmt.Errorf("xlint: %s pc %d: %w", cfg.Prog.Name, pc, err)
 				}
 				lat := float64(ci.Latency)
-				if ci.AccessesGeneralRegfile() {
+				if rec.RegfileActive {
 					vb.addExact(core.VCustomSideEffect, lat)
 				}
-				w, err := comp.CategoryActiveWeights(in.CustomID)
-				if err != nil {
-					return nil, fmt.Errorf("xlint: %s pc %d: %w", cfg.Prog.Name, pc, err)
-				}
 				for k := 0; k < hwlib.NumCategories; k++ {
-					vb.addExact(core.VCustomBase+k, w[k]*lat)
+					vb.addExact(core.VCustomBase+k, rec.CustomWeights[k]*lat)
 				}
 				continue
 			}
 
-			d, ok := isa.Lookup(in.Op)
-			if !ok {
+			if !rec.Valid {
 				return nil, fmt.Errorf("xlint: %s pc %d: invalid opcode %d", cfg.Prog.Name, pc, in.Op)
 			}
+			d := rec.Def
 			// Base arithmetic retires tap the bus-latched custom
 			// components for one cycle (Example 1's base-to-custom side
 			// effect) — deterministic per retire.
-			if hasTaps && d.Class == isa.ClassArith {
+			if pl.HasBusTaps && d.Class == isa.ClassArith {
 				for k := 0; k < hwlib.NumCategories; k++ {
-					vb.addExact(core.VCustomBase+k, bw[k])
+					vb.addExact(core.VCustomBase+k, pl.BusTap[k])
 				}
 			}
 

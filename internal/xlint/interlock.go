@@ -1,9 +1,8 @@
 package xlint
 
 import (
-	"xtenergy/internal/iss"
+	"xtenergy/internal/plan"
 	"xtenergy/internal/procgen"
-	"xtenergy/internal/tie"
 )
 
 // hazardBetween reports whether the producer instruction arms a
@@ -13,7 +12,7 @@ import (
 // ports the interlock comparator watches (this is where the
 // immediate-form TIE distinction matters — an immediate Rt field never
 // trips the comparator).
-func hazardBetween(producer, consumer iss.RegUse, producerRd, consRs, consRt uint8) bool {
+func hazardBetween(producer, consumer plan.RegUse, producerRd, consRs, consRt uint8) bool {
 	if !(producer.IsLoad || producer.IsMult) || !producer.WritesRd {
 		return false
 	}
@@ -27,9 +26,9 @@ func hazardBetween(producer, consumer iss.RegUse, producerRd, consRs, consRt uin
 // hazard can only carry over edges with no front-end flush (sequential
 // fall and zero-overhead loop-back), from a predecessor whose last
 // retired instruction is the load/multiply producer.
-func entryHazard(cfg *CFG, comp *tie.Compiled, b *Block) (guaranteed, possible bool) {
-	first := cfg.Prog.Code[b.Start]
-	fu := iss.RegUseOf(comp, first)
+func entryHazard(cfg *CFG, b *Block) (guaranteed, possible bool) {
+	first := cfg.Plan.Recs[b.Start].Instr
+	fu := cfg.Plan.Recs[b.Start].Use
 	guaranteed = true
 	if b.ID == cfg.Entry().ID {
 		guaranteed = false // reset entry carries no hazard
@@ -41,8 +40,8 @@ func entryHazard(cfg *CFG, comp *tie.Compiled, b *Block) (guaranteed, possible b
 			continue
 		}
 		anyPred = true
-		last := cfg.Prog.Code[p.End-1]
-		pu := iss.RegUseOf(comp, last)
+		last := cfg.Plan.Recs[p.End-1].Instr
+		pu := cfg.Plan.Recs[p.End-1].Use
 		if e.Kind.CarriesHazard() && hazardBetween(pu, fu, last.Rd, first.Rs, first.Rt) {
 			possible = true
 		} else {
@@ -62,15 +61,14 @@ func entryHazard(cfg *CFG, comp *tie.Compiled, b *Block) (guaranteed, possible b
 // edges from every reachable entry path.
 func analyzeInterlocks(r *Report, proc *procgen.Processor) {
 	cfg := r.CFG
-	comp := proc.TIE
 	for _, b := range cfg.Blocks {
 		if !b.Reachable {
 			continue
 		}
 		for pc := b.Start + 1; pc < b.End; pc++ {
-			prod, cons := cfg.Prog.Code[pc-1], cfg.Prog.Code[pc]
-			pu := iss.RegUseOf(comp, prod)
-			cu := iss.RegUseOf(comp, cons)
+			prod, cons := cfg.Plan.Recs[pc-1].Instr, cfg.Plan.Recs[pc].Instr
+			pu := cfg.Plan.Recs[pc-1].Use
+			cu := cfg.Plan.Recs[pc].Use
 			if hazardBetween(pu, cu, prod.Rd, cons.Rs, cons.Rt) {
 				kind := "load"
 				if pu.IsMult {
@@ -81,7 +79,7 @@ func analyzeInterlocks(r *Report, proc *procgen.Processor) {
 					kind, prod.Rd, pc-1)
 			}
 		}
-		if guaranteed, _ := entryHazard(cfg, comp, b); guaranteed {
+		if guaranteed, _ := entryHazard(cfg, b); guaranteed {
 			r.add("interlock", SevNote, b.Start, -1,
 				"guaranteed interlock on block entry: every path into pc %d ends with a load/multiply feeding it", b.Start)
 		}
