@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	characterize [-fast] [-ridge λ] [-nonneg] [-timeout d] [-retries n] [-partial]
+//	characterize [-fast] [-ridge λ] [-nonneg] [-timeout d] [-retries n] [-partial] [-j n]
 //
 // Exit status: 0 on a clean run, 1 when -partial dropped failed
 // workloads (the failure report goes to stderr; stdout stays
@@ -35,6 +35,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-workload reference-measurement deadline (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts for transiently-failing workloads")
 	partial := flag.Bool("partial", false, "drop failed workloads and fit on the survivors (degraded runs exit 1)")
+	jobs := flag.Int("j", 0, "concurrent workload measurements (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	suite := experiments.Default()
@@ -46,6 +47,7 @@ func main() {
 	suite.Timeout = *timeout
 	suite.Retries = *retries
 	suite.Partial = *partial
+	suite.Parallelism = *jobs
 
 	cr, err := suite.Characterization()
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"xtenergy/internal/iss"
@@ -41,18 +42,29 @@ type benchFile struct {
 	Current  map[string]benchEntry `json:"current"`
 }
 
+// benchLanes lists the recorded benchmarks in print order.
+var benchLanes = []string{"iss_steps", "plan_build", "simulate_nets", "reference_streamed"}
+
+// checkTolerance is how much slower than its frozen baseline a lane's
+// ns/op may drift before `bench -check` fails the run. Wide enough for
+// scheduler noise on the estimator lanes (which run with a longer
+// benchtime for stability), tight enough to catch a real regression.
+const checkTolerance = 1.15
+
 func runBench(argv []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	jsonPath := fs.String("json", "BENCH_iss.json", "benchmark trajectory file to update")
 	benchtime := fs.String("benchtime", "", "per-benchmark budget in testing -benchtime syntax (e.g. 2s, 1x)")
+	check := fs.Bool("check", false, "exit nonzero when any lane's ns/op regresses more than 15% vs its frozen baseline")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
 	testing.Init()
-	if *benchtime != "" {
-		if err := flag.Set("test.benchtime", *benchtime); err != nil {
-			return err
+	setBenchtime := func(bt string) error {
+		if *benchtime != "" {
+			bt = *benchtime // explicit budget overrides per-lane defaults
 		}
+		return flag.Set("test.benchtime", bt)
 	}
 
 	w := workloads.ReedSolomonBase()
@@ -64,6 +76,9 @@ func runBench(argv []string) error {
 	current := map[string]benchEntry{}
 
 	sim := iss.New(proc)
+	if err := setBenchtime("1s"); err != nil {
+		return err
+	}
 	current["iss_steps"] = toEntry(testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -89,6 +104,30 @@ func runBench(argv []string) error {
 	if err != nil {
 		return err
 	}
+
+	// The estimator lanes get a longer default budget: the historical
+	// reference_streamed baseline froze at n=9, too few iterations to
+	// keep run-to-run noise inside the -check tolerance.
+	if err := setBenchtime("3s"); err != nil {
+		return err
+	}
+
+	// simulate_nets isolates the net-simulation kernel from the ISS:
+	// pure estimation over a prerecorded trace (the in-process twin of
+	// BenchmarkRTLPowerEstimate).
+	res, err := sim.Run(prog, iss.Options{CollectTrace: true})
+	if err != nil {
+		return err
+	}
+	current["simulate_nets"] = toEntry(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := est.EstimateTrace(res.Trace); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	current["reference_streamed"] = toEntry(testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -117,6 +156,13 @@ func runBench(argv []string) error {
 	if f.Baseline == nil {
 		f.Baseline = current
 	}
+	// Lanes added after the baseline froze get their baseline frozen
+	// now, at first record.
+	for name, cur := range current {
+		if _, ok := f.Baseline[name]; !ok {
+			f.Baseline[name] = cur
+		}
+	}
 	f.Current = current
 
 	out, err := json.MarshalIndent(&f, "", "  ")
@@ -127,15 +173,24 @@ func runBench(argv []string) error {
 		return err
 	}
 
-	for _, name := range []string{"iss_steps", "plan_build", "reference_streamed"} {
+	var regressed []string
+	for _, name := range benchLanes {
 		cur := f.Current[name]
 		line := fmt.Sprintf("%-20s %14.0f ns/op %8d B/op %6d allocs/op", name, cur.NsPerOp, cur.BytesPerOp, cur.AllocsPerOp)
 		if base, ok := f.Baseline[name]; ok && base.NsPerOp > 0 && base != cur {
 			line += fmt.Sprintf("   (baseline %14.0f ns/op, %+.1f%%)", base.NsPerOp, 100*(cur.NsPerOp-base.NsPerOp)/base.NsPerOp)
+			if cur.NsPerOp > base.NsPerOp*checkTolerance {
+				regressed = append(regressed, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%)",
+					name, cur.NsPerOp, base.NsPerOp, 100*(cur.NsPerOp-base.NsPerOp)/base.NsPerOp))
+			}
 		}
 		fmt.Println(line)
 	}
 	fmt.Fprintln(os.Stderr, "trajectory written to", *jsonPath)
+	if *check && len(regressed) > 0 {
+		return fmt.Errorf("bench -check: ns/op regressed more than %.0f%% vs frozen baseline:\n  %s",
+			100*(checkTolerance-1), strings.Join(regressed, "\n  "))
+	}
 	return nil
 }
 

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	experiments [-fast] [-out file] [table1|fig3|table2|fig4|speedup|ablation|config ...]
-//	experiments bench [-json BENCH_iss.json] [-benchtime 2s]
+//	experiments [-fast] [-out file] [-j n] [table1|fig3|table2|fig4|speedup|ablation|config ...]
+//	experiments bench [-json BENCH_iss.json] [-benchtime 2s] [-check]
 //
 // With no arguments, all experiments run in order. The bench subcommand
 // runs the ISS-path micro-benchmarks in process and updates the
@@ -27,12 +27,14 @@ import (
 func main() {
 	fast := flag.Bool("fast", false, "use the reduced-resolution reference model")
 	out := flag.String("out", "", "also write the report to this file")
+	jobs := flag.Int("j", 0, "concurrent workload measurements (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	suite := experiments.Default()
 	if *fast {
 		suite = experiments.Fast()
 	}
+	suite.Parallelism = *jobs
 
 	which := flag.Args()
 	if len(which) > 0 && which[0] == "bench" {

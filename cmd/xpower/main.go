@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	xpower [-fast] -w <workload>
+//	xpower [-fast] [-j shards] -w <workload>
 //	xpower -list
 package main
 
@@ -38,6 +38,7 @@ func run() error {
 	name := flag.String("w", "", "workload to analyze")
 	list := flag.Bool("list", false, "list available workloads")
 	profile := flag.Uint64("profile", 0, "also print a power-vs-time profile with this window (cycles)")
+	jobs := flag.Int("j", 1, "net-simulation shards per chunk (>1 spreads the jump-ahead lane walks over goroutines; bit-identical)")
 	flag.Parse()
 
 	if *list {
@@ -79,6 +80,7 @@ func run() error {
 	// materialized no matter how long the workload runs. The power
 	// profile, when requested, hangs off the same pass.
 	st := est.Stream()
+	st.Shards = *jobs
 	var acc *rtlpower.ProfileAccumulator
 	if *profile > 0 {
 		acc = rtlpower.NewProfileAccumulator(*profile)

@@ -331,3 +331,23 @@ func TestBreakdownSumsToEstimate(t *testing.T) {
 		t.Fatalf("breakdown text malformed:\n%s", text)
 	}
 }
+
+// TestCharacterizeSerialIdentical pins Options.Parallelism: a fully
+// serialized run (Parallelism 1) must fit exactly the same model as the
+// default GOMAXPROCS-wide worker pool — worker scheduling cannot change
+// any measured energy, so the coefficients are bit-identical.
+func TestCharacterizeSerialIdentical(t *testing.T) {
+	want := fastChar(t)
+	got, err := core.Characterize(context.Background(),
+		procgen.Default(), rtlpower.FastTechnology(),
+		workloads.CharacterizationSuite(), core.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Model.Coef {
+		if got.Model.Coef[i] != want.Model.Coef[i] {
+			t.Fatalf("coef %d: serial %v != parallel %v (bit-identical expected)",
+				i, got.Model.Coef[i], want.Model.Coef[i])
+		}
+	}
+}

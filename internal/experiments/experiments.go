@@ -44,6 +44,10 @@ type Suite struct {
 	Timeout time.Duration
 	Retries int
 
+	// Parallelism bounds concurrent workload legs in characterization;
+	// 0 means runtime.GOMAXPROCS(0).
+	Parallelism int
+
 	charResult *core.CharacterizationResult
 	appObs     []appObservation
 }
@@ -52,10 +56,11 @@ type Suite struct {
 // suite's knobs.
 func (s *Suite) charOpts() core.Options {
 	return core.Options{
-		Regress: s.Regress,
-		Partial: s.Partial,
-		Timeout: s.Timeout,
-		Retries: s.Retries,
+		Regress:     s.Regress,
+		Partial:     s.Partial,
+		Timeout:     s.Timeout,
+		Retries:     s.Retries,
+		Parallelism: s.Parallelism,
 	}
 }
 

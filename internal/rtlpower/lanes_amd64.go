@@ -1,0 +1,15 @@
+//go:build amd64
+
+package rtlpower
+
+// countStripes8SSE2 is the SIMD form of the 8-lane walker
+// (lanes_amd64.s): two 4-wide xorshift32 vectors with branchless
+// compare-accumulate toggle counting, the same lockstep-round contract
+// as countStripes8Go. SSE2 only — part of the amd64 baseline, so no
+// runtime feature detection is needed.
+//
+//go:noescape
+func countStripes8SSE2(w *walk8)
+
+// countStripes8 runs one 8-lane walk; on amd64 it is the SIMD walker.
+func countStripes8(w *walk8) { countStripes8SSE2(w) }

@@ -1,0 +1,410 @@
+// SSE2 form of the 8-lane stripe walker (see lanes.go for the
+// contract and countStripes8Go for the reference implementation).
+//
+// Lane layout: X0 holds lanes 0-3, X8 lanes 4-7. The unsigned compare
+// "state < threshold" is done with the signed PCMPGTD after biasing
+// both sides by 0x80000000; thresholds are biased once at record load
+// (X5/X13), states per draw (via X7). Per-lane toggle counters
+// accumulate in X3/X11 across rounds and are flushed to
+// counts[rec.slot] only when a record drains, so the per-round scalar
+// sweep touches memory for at most the lanes that crossed a record
+// boundary. Exhausted lanes idle on a sentinel record (rem=~0,
+// biased threshold 0x80000000 = INT32_MIN, which PCMPGTD never counts)
+// until every lane drains; chunk totals are capped below 2^31 draws so
+// sentinels never decay into live range.
+//
+// Frame locals: rem[8] at -128(SP), count dump cbuf[8] at -96(SP),
+// biased thresholds thrv[8] at -64(SP), slot[8] at -32(SP).
+// walk8 field offsets (pinned by TestWalk8Layout): recs.ptr +0,
+// counts.ptr +24, off +48, cnt +80, st +112.
+
+#include "textflag.h"
+
+// func countStripes8SSE2(w *walk8)
+TEXT ·countStripes8SSE2(SB), NOSPLIT, $128-8
+	MOVQ w+0(FP), R9
+	MOVQ 0(R9), SI             // recs data
+	MOVQ 24(R9), DI            // counts data
+	MOVOU 112(R9), X0          // states, lanes 0-3
+	MOVOU 128(R9), X8          // states, lanes 4-7
+	MOVL $0x80000000, AX
+	MOVD AX, X7
+	PSHUFD $0, X7, X7          // sign-bias broadcast
+	PXOR X3, X3
+	MOVOU X3, cbuf-96(SP)
+	MOVOU X3, cbuf-80(SP)
+	XORQ R15, R15              // live lane count
+
+	// Load each lane's first record (or a sentinel).
+	XORQ R12, R12
+initlane:
+	MOVL $0xFFFFFFFF, rem-128(SP)(R12*4)
+	MOVL $0x80000000, thrv-64(SP)(R12*4)
+	MOVL $0, slot-32(SP)(R12*4)
+	MOVL 80(R9)(R12*4), CX     // cnt[j]
+	TESTL CX, CX
+	JZ initnext
+	DECL CX
+	MOVL CX, 80(R9)(R12*4)
+	MOVL 48(R9)(R12*4), BX     // off[j]
+	LEAL 1(BX), CX
+	MOVL CX, 48(R9)(R12*4)
+	LEAQ (BX)(BX*2), AX        // record at recs + off*12
+	MOVL 0(SI)(AX*4), CX       // thr
+	XORL $0x80000000, CX
+	MOVL CX, thrv-64(SP)(R12*4)
+	MOVL 4(SI)(AX*4), CX       // rem
+	MOVL CX, rem-128(SP)(R12*4)
+	MOVL 8(SI)(AX*4), CX       // slot
+	MOVL CX, slot-32(SP)(R12*4)
+	INCQ R15
+initnext:
+	INCQ R12
+	CMPQ R12, $8
+	JLT initlane
+
+	MOVOU thrv-64(SP), X5      // biased thresholds, lanes 0-3
+	MOVOU thrv-48(SP), X13     // biased thresholds, lanes 4-7
+	PXOR X3, X3                // toggle counters, lanes 0-3
+	PXOR X11, X11              // toggle counters, lanes 4-7
+
+round:
+	TESTQ R15, R15
+	JZ walkdone
+
+	// m = min over the 8 remaining-draw counters.
+	MOVL rem-128(SP), R10
+	MOVL rem-124(SP), AX
+	CMPL AX, R10
+	CMOVLCS AX, R10
+	MOVL rem-120(SP), AX
+	CMPL AX, R10
+	CMOVLCS AX, R10
+	MOVL rem-116(SP), AX
+	CMPL AX, R10
+	CMOVLCS AX, R10
+	MOVL rem-112(SP), AX
+	CMPL AX, R10
+	CMOVLCS AX, R10
+	MOVL rem-108(SP), AX
+	CMPL AX, R10
+	CMOVLCS AX, R10
+	MOVL rem-104(SP), AX
+	CMPL AX, R10
+	CMOVLCS AX, R10
+	MOVL rem-100(SP), AX
+	CMPL AX, R10
+	CMOVLCS AX, R10
+
+	MOVL R10, DX
+inner:
+	MOVOA X0, X1
+	PSLLL $13, X1
+	PXOR X1, X0
+	MOVOA X8, X9
+	PSLLL $13, X9
+	PXOR X9, X8
+	MOVOA X0, X1
+	PSRLL $17, X1
+	PXOR X1, X0
+	MOVOA X8, X9
+	PSRLL $17, X9
+	PXOR X9, X8
+	MOVOA X0, X1
+	PSLLL $5, X1
+	PXOR X1, X0
+	MOVOA X8, X9
+	PSLLL $5, X9
+	PXOR X9, X8
+	MOVOA X0, X1
+	PXOR X7, X1                // biased states 0-3
+	MOVOA X5, X2
+	PCMPGTL X1, X2             // thr_b > st_b  <=>  st < thr
+	PSUBL X2, X3
+	MOVOA X8, X9
+	PXOR X7, X9                // biased states 4-7
+	MOVOA X13, X10
+	PCMPGTL X9, X10
+	PSUBL X10, X11
+	DECL DX
+	JNZ inner
+
+	// Dump counters so drained lanes can flush scalar-side.
+	MOVOU X3, cbuf-96(SP)
+	MOVOU X11, cbuf-80(SP)
+
+	// Lane 0.
+	MOVL rem-128(SP), AX
+	SUBL R10, AX
+	MOVL AX, rem-128(SP)
+	JNZ lane0done
+	MOVL slot-32(SP), AX
+	MOVL cbuf-96(SP), BX
+	ADDL BX, (DI)(AX*4)
+	MOVL $0, cbuf-96(SP)
+	MOVL 80(R9), CX
+	TESTL CX, CX
+	JZ lane0out
+	DECL CX
+	MOVL CX, 80(R9)
+	MOVL 48(R9), BX
+	LEAL 1(BX), CX
+	MOVL CX, 48(R9)
+	LEAQ (BX)(BX*2), AX
+	MOVL 0(SI)(AX*4), CX
+	XORL $0x80000000, CX
+	MOVL CX, thrv-64(SP)
+	MOVL 4(SI)(AX*4), CX
+	MOVL CX, rem-128(SP)
+	MOVL 8(SI)(AX*4), CX
+	MOVL CX, slot-32(SP)
+	JMP lane0done
+lane0out:
+	MOVL $0xFFFFFFFF, rem-128(SP)
+	MOVL $0x80000000, thrv-64(SP)
+	MOVL $0, slot-32(SP)
+	DECQ R15
+lane0done:
+
+	// Lane 1.
+	MOVL rem-124(SP), AX
+	SUBL R10, AX
+	MOVL AX, rem-124(SP)
+	JNZ lane1done
+	MOVL slot-28(SP), AX
+	MOVL cbuf-92(SP), BX
+	ADDL BX, (DI)(AX*4)
+	MOVL $0, cbuf-92(SP)
+	MOVL 84(R9), CX
+	TESTL CX, CX
+	JZ lane1out
+	DECL CX
+	MOVL CX, 84(R9)
+	MOVL 52(R9), BX
+	LEAL 1(BX), CX
+	MOVL CX, 52(R9)
+	LEAQ (BX)(BX*2), AX
+	MOVL 0(SI)(AX*4), CX
+	XORL $0x80000000, CX
+	MOVL CX, thrv-60(SP)
+	MOVL 4(SI)(AX*4), CX
+	MOVL CX, rem-124(SP)
+	MOVL 8(SI)(AX*4), CX
+	MOVL CX, slot-28(SP)
+	JMP lane1done
+lane1out:
+	MOVL $0xFFFFFFFF, rem-124(SP)
+	MOVL $0x80000000, thrv-60(SP)
+	MOVL $0, slot-28(SP)
+	DECQ R15
+lane1done:
+
+	// Lane 2.
+	MOVL rem-120(SP), AX
+	SUBL R10, AX
+	MOVL AX, rem-120(SP)
+	JNZ lane2done
+	MOVL slot-24(SP), AX
+	MOVL cbuf-88(SP), BX
+	ADDL BX, (DI)(AX*4)
+	MOVL $0, cbuf-88(SP)
+	MOVL 88(R9), CX
+	TESTL CX, CX
+	JZ lane2out
+	DECL CX
+	MOVL CX, 88(R9)
+	MOVL 56(R9), BX
+	LEAL 1(BX), CX
+	MOVL CX, 56(R9)
+	LEAQ (BX)(BX*2), AX
+	MOVL 0(SI)(AX*4), CX
+	XORL $0x80000000, CX
+	MOVL CX, thrv-56(SP)
+	MOVL 4(SI)(AX*4), CX
+	MOVL CX, rem-120(SP)
+	MOVL 8(SI)(AX*4), CX
+	MOVL CX, slot-24(SP)
+	JMP lane2done
+lane2out:
+	MOVL $0xFFFFFFFF, rem-120(SP)
+	MOVL $0x80000000, thrv-56(SP)
+	MOVL $0, slot-24(SP)
+	DECQ R15
+lane2done:
+
+	// Lane 3.
+	MOVL rem-116(SP), AX
+	SUBL R10, AX
+	MOVL AX, rem-116(SP)
+	JNZ lane3done
+	MOVL slot-20(SP), AX
+	MOVL cbuf-84(SP), BX
+	ADDL BX, (DI)(AX*4)
+	MOVL $0, cbuf-84(SP)
+	MOVL 92(R9), CX
+	TESTL CX, CX
+	JZ lane3out
+	DECL CX
+	MOVL CX, 92(R9)
+	MOVL 60(R9), BX
+	LEAL 1(BX), CX
+	MOVL CX, 60(R9)
+	LEAQ (BX)(BX*2), AX
+	MOVL 0(SI)(AX*4), CX
+	XORL $0x80000000, CX
+	MOVL CX, thrv-52(SP)
+	MOVL 4(SI)(AX*4), CX
+	MOVL CX, rem-116(SP)
+	MOVL 8(SI)(AX*4), CX
+	MOVL CX, slot-20(SP)
+	JMP lane3done
+lane3out:
+	MOVL $0xFFFFFFFF, rem-116(SP)
+	MOVL $0x80000000, thrv-52(SP)
+	MOVL $0, slot-20(SP)
+	DECQ R15
+lane3done:
+
+	// Lane 4.
+	MOVL rem-112(SP), AX
+	SUBL R10, AX
+	MOVL AX, rem-112(SP)
+	JNZ lane4done
+	MOVL slot-16(SP), AX
+	MOVL cbuf-80(SP), BX
+	ADDL BX, (DI)(AX*4)
+	MOVL $0, cbuf-80(SP)
+	MOVL 96(R9), CX
+	TESTL CX, CX
+	JZ lane4out
+	DECL CX
+	MOVL CX, 96(R9)
+	MOVL 64(R9), BX
+	LEAL 1(BX), CX
+	MOVL CX, 64(R9)
+	LEAQ (BX)(BX*2), AX
+	MOVL 0(SI)(AX*4), CX
+	XORL $0x80000000, CX
+	MOVL CX, thrv-48(SP)
+	MOVL 4(SI)(AX*4), CX
+	MOVL CX, rem-112(SP)
+	MOVL 8(SI)(AX*4), CX
+	MOVL CX, slot-16(SP)
+	JMP lane4done
+lane4out:
+	MOVL $0xFFFFFFFF, rem-112(SP)
+	MOVL $0x80000000, thrv-48(SP)
+	MOVL $0, slot-16(SP)
+	DECQ R15
+lane4done:
+
+	// Lane 5.
+	MOVL rem-108(SP), AX
+	SUBL R10, AX
+	MOVL AX, rem-108(SP)
+	JNZ lane5done
+	MOVL slot-12(SP), AX
+	MOVL cbuf-76(SP), BX
+	ADDL BX, (DI)(AX*4)
+	MOVL $0, cbuf-76(SP)
+	MOVL 100(R9), CX
+	TESTL CX, CX
+	JZ lane5out
+	DECL CX
+	MOVL CX, 100(R9)
+	MOVL 68(R9), BX
+	LEAL 1(BX), CX
+	MOVL CX, 68(R9)
+	LEAQ (BX)(BX*2), AX
+	MOVL 0(SI)(AX*4), CX
+	XORL $0x80000000, CX
+	MOVL CX, thrv-44(SP)
+	MOVL 4(SI)(AX*4), CX
+	MOVL CX, rem-108(SP)
+	MOVL 8(SI)(AX*4), CX
+	MOVL CX, slot-12(SP)
+	JMP lane5done
+lane5out:
+	MOVL $0xFFFFFFFF, rem-108(SP)
+	MOVL $0x80000000, thrv-44(SP)
+	MOVL $0, slot-12(SP)
+	DECQ R15
+lane5done:
+
+	// Lane 6.
+	MOVL rem-104(SP), AX
+	SUBL R10, AX
+	MOVL AX, rem-104(SP)
+	JNZ lane6done
+	MOVL slot-8(SP), AX
+	MOVL cbuf-72(SP), BX
+	ADDL BX, (DI)(AX*4)
+	MOVL $0, cbuf-72(SP)
+	MOVL 104(R9), CX
+	TESTL CX, CX
+	JZ lane6out
+	DECL CX
+	MOVL CX, 104(R9)
+	MOVL 72(R9), BX
+	LEAL 1(BX), CX
+	MOVL CX, 72(R9)
+	LEAQ (BX)(BX*2), AX
+	MOVL 0(SI)(AX*4), CX
+	XORL $0x80000000, CX
+	MOVL CX, thrv-40(SP)
+	MOVL 4(SI)(AX*4), CX
+	MOVL CX, rem-104(SP)
+	MOVL 8(SI)(AX*4), CX
+	MOVL CX, slot-8(SP)
+	JMP lane6done
+lane6out:
+	MOVL $0xFFFFFFFF, rem-104(SP)
+	MOVL $0x80000000, thrv-40(SP)
+	MOVL $0, slot-8(SP)
+	DECQ R15
+lane6done:
+
+	// Lane 7.
+	MOVL rem-100(SP), AX
+	SUBL R10, AX
+	MOVL AX, rem-100(SP)
+	JNZ lane7done
+	MOVL slot-4(SP), AX
+	MOVL cbuf-68(SP), BX
+	ADDL BX, (DI)(AX*4)
+	MOVL $0, cbuf-68(SP)
+	MOVL 108(R9), CX
+	TESTL CX, CX
+	JZ lane7out
+	DECL CX
+	MOVL CX, 108(R9)
+	MOVL 76(R9), BX
+	LEAL 1(BX), CX
+	MOVL CX, 76(R9)
+	LEAQ (BX)(BX*2), AX
+	MOVL 0(SI)(AX*4), CX
+	XORL $0x80000000, CX
+	MOVL CX, thrv-36(SP)
+	MOVL 4(SI)(AX*4), CX
+	MOVL CX, rem-100(SP)
+	MOVL 8(SI)(AX*4), CX
+	MOVL CX, slot-4(SP)
+	JMP lane7done
+lane7out:
+	MOVL $0xFFFFFFFF, rem-100(SP)
+	MOVL $0x80000000, thrv-36(SP)
+	MOVL $0, slot-4(SP)
+	DECQ R15
+lane7done:
+
+	// Reinstall counters and thresholds with drained lanes updated.
+	MOVOU cbuf-96(SP), X3
+	MOVOU cbuf-80(SP), X11
+	MOVOU thrv-64(SP), X5
+	MOVOU thrv-48(SP), X13
+	JMP round
+
+walkdone:
+	MOVOU X0, 112(R9)
+	MOVOU X8, 128(R9)
+	RET

@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package rtlpower
+
+// countStripes8 runs one 8-lane walk; without a SIMD implementation it
+// is the portable lockstep walker, still ILP-bound instead of
+// latency-bound.
+func countStripes8(w *walk8) { countStripes8Go(w) }

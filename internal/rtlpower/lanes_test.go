@@ -1,0 +1,190 @@
+package rtlpower
+
+import (
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+// TestWalk8Layout pins the struct layout lanes_amd64.s hardcodes. If
+// this fails, the assembly's field offsets must be updated in lockstep.
+func TestWalk8Layout(t *testing.T) {
+	var w walk8
+	if got := unsafe.Sizeof(laneRec{}); got != 12 {
+		t.Errorf("sizeof(laneRec) = %d, want 12", got)
+	}
+	offs := []struct {
+		name string
+		got  uintptr
+		want uintptr
+	}{
+		{"recs", unsafe.Offsetof(w.recs), 0},
+		{"counts", unsafe.Offsetof(w.counts), 24},
+		{"off", unsafe.Offsetof(w.off), 48},
+		{"cnt", unsafe.Offsetof(w.cnt), 80},
+		{"st", unsafe.Offsetof(w.st), 112},
+	}
+	for _, o := range offs {
+		if o.got != o.want {
+			t.Errorf("offsetof(walk8.%s) = %d, want %d", o.name, o.got, o.want)
+		}
+	}
+}
+
+// walkOracle advances each lane's record runs on the scalar chain,
+// mirroring the walk8 contract one lane at a time.
+func walkOracle(w *walk8) {
+	for j := 0; j < 8; j++ {
+		st := w.st[j]
+		for k := uint32(0); k < w.cnt[j]; k++ {
+			r := w.recs[w.off[j]+k]
+			for d := uint32(0); d < r.rem; d++ {
+				st = xorshiftStep(st)
+				if st < r.thr {
+					w.counts[r.slot]++
+				}
+			}
+		}
+		w.st[j] = st
+	}
+}
+
+// randomWalk builds a walk8 with lanes of random record runs laid out
+// contiguously, including empty lanes and extreme thresholds.
+func randomWalk(rng *rand.Rand, nslots int) *walk8 {
+	w := &walk8{counts: make([]uint32, nslots)}
+	for j := 0; j < 8; j++ {
+		nrec := rng.Intn(5)
+		if rng.Intn(8) == 0 {
+			nrec = 0 // empty lane: starts and stays on the sentinel
+		}
+		w.off[j] = uint32(len(w.recs))
+		w.cnt[j] = uint32(nrec)
+		w.st[j] = rng.Uint32() | 1
+		for k := 0; k < nrec; k++ {
+			var thr uint32
+			switch rng.Intn(5) {
+			case 0:
+				thr = 0 // never toggles
+			case 1:
+				thr = ^uint32(0) // toggles on everything but ^0 itself
+			default:
+				thr = rng.Uint32()
+			}
+			w.recs = append(w.recs, laneRec{
+				thr:  thr,
+				rem:  uint32(rng.Intn(700) + 1),
+				slot: uint32(rng.Intn(nslots)),
+			})
+		}
+	}
+	return w
+}
+
+func cloneWalk(w *walk8) *walk8 {
+	c := *w
+	c.recs = append([]laneRec(nil), w.recs...)
+	c.counts = make([]uint32, len(w.counts))
+	copy(c.counts, w.counts)
+	return &c
+}
+
+// TestCountStripes8MatchesOracle differentially tests both walker
+// implementations — the portable lockstep walker and whatever
+// countStripes8 dispatches to on this architecture (the SSE2 kernel on
+// amd64) — against the one-lane-at-a-time scalar oracle, on random
+// walks including empty lanes, shared slots, and boundary thresholds.
+func TestCountStripes8MatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		w := randomWalk(rng, 1+rng.Intn(6))
+		want := cloneWalk(w)
+		walkOracle(want)
+
+		gotGo := cloneWalk(w)
+		countStripes8Go(gotGo)
+		compareWalk(t, "countStripes8Go", trial, want, gotGo)
+
+		gotDisp := cloneWalk(w)
+		countStripes8(gotDisp)
+		compareWalk(t, "countStripes8", trial, want, gotDisp)
+	}
+}
+
+func compareWalk(t *testing.T, impl string, trial int, want, got *walk8) {
+	t.Helper()
+	for i := range want.counts {
+		if got.counts[i] != want.counts[i] {
+			t.Fatalf("trial %d: %s counts[%d] = %d, want %d", trial, impl, i, got.counts[i], want.counts[i])
+		}
+	}
+	// Exit states are not compared: lanes that drain early keep
+	// drawing on their sentinel record until every lane finishes, so
+	// w.st is diagnostic only (chunk RNG continuity uses JumpAhead).
+}
+
+// seqScheduleCounts is the sequential oracle for a whole chunk
+// schedule: one scalar chain through every segment in order.
+func seqScheduleCounts(state uint32, sc *schedule) ([]uint32, uint32) {
+	out := make([]uint32, len(sc.thr))
+	for i := range sc.thr {
+		thr := sc.thr[i]
+		for k := uint32(0); k < sc.draws[i]; k++ {
+			state = xorshiftStep(state)
+			if state < thr {
+				out[i]++
+			}
+		}
+	}
+	return out, state
+}
+
+// TestCountChunkLanesMatchesSequential checks the full lane kernel —
+// stripe clipping, jump-ahead start states, optional sharding — against
+// the sequential chain on random schedules: identical per-segment
+// counts and identical exit RNG state.
+func TestCountChunkLanesMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		sc := &schedule{}
+		nseg := 1 + rng.Intn(40)
+		for i := 0; i < nseg; i++ {
+			var thr uint32
+			switch rng.Intn(4) {
+			case 0:
+				thr = 0
+			default:
+				thr = rng.Uint32()
+			}
+			draws := uint32(1 + rng.Intn(3000))
+			sc.thr = append(sc.thr, thr)
+			sc.draws = append(sc.draws, draws)
+			sc.bk = append(sc.bk, uint32(i)<<1)
+			sc.total += uint64(draws)
+		}
+		if sc.total < laneMinDraws {
+			// Pad the last segment so the schedule is inside the lane
+			// kernel's sizing envelope, like consumeChunk guarantees.
+			pad := uint32(laneMinDraws - sc.total)
+			sc.draws[nseg-1] += pad
+			sc.total += uint64(pad)
+		}
+		sc.counts = make([]uint32, nseg)
+
+		seed := rng.Uint32() | 1
+		want, wantState := seqScheduleCounts(seed, sc)
+
+		s := &StreamEstimator{rng: seed, Shards: rng.Intn(5)}
+		s.countChunkLanes(sc)
+
+		for i := range want {
+			if sc.counts[i] != want[i] {
+				t.Fatalf("trial %d (shards=%d): counts[%d] = %d, want %d",
+					trial, s.Shards, i, sc.counts[i], want[i])
+			}
+		}
+		if s.rng != wantState {
+			t.Fatalf("trial %d: exit state %#x, want %#x", trial, s.rng, wantState)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"xtenergy/internal/isa"
@@ -22,6 +23,17 @@ import (
 // sequence it produces a Report bit-identical to EstimateTrace, in O(1)
 // memory regardless of how many instructions are consumed.
 //
+// Internally each consumed chunk is compiled into a draw schedule —
+// the per-block segments of toggle-RNG draws an entry implies are a
+// pure function of the trace entry and its plan record — and the
+// schedule's one serial draw chain is then counted by 8 jump-ahead
+// lanes (see lanes.go and jump.go) instead of one latency-bound
+// xorshift recurrence. The lanes enumerate exactly the states the
+// sequential walk would, toggle counts are integers, and the energy
+// fold replays the float operations in the sequential order, so
+// reports, per-block energies, and per-entry (OnEntry) energies are
+// bit-identical to the sequential path.
+//
 // A StreamEstimator is a single estimation pass: Consume any number of
 // batches in retirement order, then Finish once. It is not safe for
 // concurrent use; obtain one per run via Estimator.Stream.
@@ -33,6 +45,15 @@ type StreamEstimator struct {
 	// Used by the windowed power profile; leave nil otherwise.
 	OnEntry func(idx int, cycles uint64, pj float64)
 
+	// Shards enables the opt-in sharded kernel: when > 1, each chunk's
+	// draw chain is additionally split across up to Shards worker
+	// goroutines (each running its own 8-lane walk from exact
+	// jump-ahead start states), giving multicore scaling on a single
+	// program. Per-segment toggle counts are integers and additive, so
+	// the result stays bit-identical to the single-goroutine walk.
+	// 0 or 1 leaves the kernel on the calling goroutine.
+	Shards int
+
 	rng      uint32
 	perBlock []float64
 	activity []int // active cycles per block for the current instruction
@@ -43,34 +64,185 @@ type StreamEstimator struct {
 
 	// pl is the predecoded plan of the program being streamed, attached
 	// by RunStreamed; entries are priced from its records. When nil (or
-	// when an entry no longer matches its record), consumeEntry falls
-	// back to describing the entry's instruction into scratch.
+	// when an entry no longer matches its record), the entry falls
+	// back to describing its instruction into scratch.
 	pl      *plan.Plan
 	scratch plan.Rec
 
 	icPen, dcPen int
+
+	thrIdle   uint32 // toggle threshold of the idle process, fixed per pass
+	totalNets uint64 // Σ nets over all blocks: draws per simulated cycle
+	sched     schedule
+	forceSeq  bool // tests: pin the sequential reference path
 }
 
 // Stream starts a fresh incremental estimation pass.
 func (e *Estimator) Stream() *StreamEstimator {
+	var totalNets uint64
+	for i := range e.blocks {
+		totalNets += uint64(e.blocks[i].nets)
+	}
 	return &StreamEstimator{
-		e:        e,
-		rng:      e.tech.Seed | 1,
-		perBlock: make([]float64, len(e.blocks)),
-		activity: make([]int, len(e.blocks)),
-		icPen:    e.proc.Config.ICache.MissPenalty,
-		dcPen:    e.proc.Config.DCache.MissPenalty,
+		e:         e,
+		rng:       e.tech.Seed | 1,
+		perBlock:  make([]float64, len(e.blocks)),
+		activity:  make([]int, len(e.blocks)),
+		icPen:     e.proc.Config.ICache.MissPenalty,
+		dcPen:     e.proc.Config.DCache.MissPenalty,
+		thrIdle:   toggleThreshold(pIdle),
+		totalNets: totalNets,
 	}
 }
 
+// Lane-kernel sizing. Every block draws exactly cyc draws per net each
+// entry (active + idle split), so a chunk's draw total is
+// Σcycles × Σnets — known before any state is mutated.
+const (
+	// laneMinDraws is the chunk size below which stripe clipping and
+	// jump-ahead setup cost more than scalar drawing.
+	laneMinDraws = 4096
+	// maxChunkDraws caps the lane path: lane records and counts are
+	// 32-bit, and exhausted-lane sentinels must stay above any live
+	// remainder (see sentinelRem). Chunks past the cap — hundreds of
+	// millions of draws in 256 entries, i.e. pathological per-entry
+	// cycle counts — take the sequential path instead.
+	maxChunkDraws = 1 << 30
+	// shardMinDraws is the chunk size below which goroutine fan-out
+	// isn't worth the synchronization.
+	shardMinDraws = 1 << 16
+	// shardMinLaneDraws keeps sharded stripes long enough that walker
+	// setup stays amortized, bounding the effective shard count.
+	shardMinLaneDraws = 512
+)
+
+// toggleThreshold maps a toggle probability to the strict upper bound
+// its draws are compared against. This is the one conversion both the
+// sequential and the lane paths must share bit-for-bit.
+func toggleThreshold(p float64) uint32 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return uint32(p * float64(1<<32-1))
+}
+
+// schedule is the reusable per-chunk compilation of trace entries into
+// toggle-draw segments, plus the lane-walk scratch built from them.
+// Buffers are allocated once (first chunk) and reused, keeping Consume
+// allocation-free in the steady state.
+type schedule struct {
+	thr    []uint32 // per segment: toggle threshold
+	draws  []uint32 // per segment: number of RNG draws, ≥ 1
+	bk     []uint32 // per segment: block index << 1, low bit set when idle
+	counts []uint32 // per segment: toggle count, filled by the kernel
+	entEnd []int32  // per entry: one-past-last segment index
+	entCyc []uint32 // per entry: charged cycles
+	total  uint64   // chunk draw total
+
+	recs        []laneRec
+	laneEnd     []int32
+	laneStates  []uint32
+	walks       []walk8
+	shardCounts [][]uint32
+}
+
+func (sc *schedule) begin(nblocks int) {
+	if cap(sc.thr) == 0 {
+		segCap := iss.TraceBatchSize * 2 * nblocks
+		sc.thr = make([]uint32, 0, segCap)
+		sc.draws = make([]uint32, 0, segCap)
+		sc.bk = make([]uint32, 0, segCap)
+		sc.counts = make([]uint32, 0, segCap)
+		sc.entEnd = make([]int32, 0, iss.TraceBatchSize)
+		sc.entCyc = make([]uint32, 0, iss.TraceBatchSize)
+		sc.recs = make([]laneRec, 0, segCap+walkLanes)
+		sc.laneEnd = make([]int32, 0, walkLanes)
+		sc.laneStates = make([]uint32, 0, walkLanes)
+		sc.walks = make([]walk8, 1, 1)
+	}
+	sc.thr = sc.thr[:0]
+	sc.draws = sc.draws[:0]
+	sc.bk = sc.bk[:0]
+	sc.entEnd = sc.entEnd[:0]
+	sc.entCyc = sc.entCyc[:0]
+	sc.total = 0
+}
+
+const walkLanes = 8
+
 // Consume folds a batch of retired instructions into the estimate. The
-// batch slice may be reused by the caller after Consume returns; it
-// allocates nothing.
+// batch slice may be reused by the caller after Consume returns; after
+// the first call's buffer warm-up it allocates nothing.
 func (s *StreamEstimator) Consume(batch []iss.TraceEntry) error {
-	for i := range batch {
-		if err := s.consumeEntry(&batch[i]); err != nil {
+	for len(batch) > 0 {
+		n := len(batch)
+		if n > iss.TraceBatchSize {
+			n = iss.TraceBatchSize
+		}
+		if err := s.consumeChunk(batch[:n]); err != nil {
 			return err
 		}
+		batch = batch[n:]
+	}
+	return nil
+}
+
+// consumeChunk estimates up to one batch worth of entries through the
+// three-phase pipeline: compile the entries into a draw schedule,
+// count toggles with the jump-ahead lane kernel, then fold the counts
+// into energies in the sequential order. Chunks too small or too large
+// for 32-bit lane arithmetic fall back to the sequential reference
+// path, which is bit-identical by construction.
+func (s *StreamEstimator) consumeChunk(chunk []iss.TraceEntry) error {
+	var sumCyc uint64
+	for i := range chunk {
+		c := uint64(chunk[i].Cycles)
+		if c == 0 {
+			c = 1
+		}
+		sumCyc += c
+	}
+	if s.forceSeq || sumCyc*s.totalNets > maxChunkDraws {
+		for i := range chunk {
+			if err := s.consumeEntrySeq(&chunk[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	sc := &s.sched
+	sc.begin(len(s.e.blocks))
+	var (
+		fault      error
+		faultEntry *iss.TraceEntry
+	)
+	ne := 0
+	for i := range chunk {
+		te := &chunk[i]
+		cyc, pAct, err := s.prepEntry(te)
+		if err != nil {
+			fault, faultEntry = err, te
+			break
+		}
+		s.emitSegments(sc, cyc, pAct)
+		ne++
+	}
+
+	if sc.total > 0 {
+		if sc.total >= laneMinDraws {
+			s.countChunkLanes(sc)
+		} else {
+			s.countChunkSeq(sc)
+		}
+	}
+	s.foldChunk(sc, ne)
+
+	if fault != nil {
+		return s.wrapEntryFault(faultEntry, s.entries, fault)
 	}
 	return nil
 }
@@ -90,13 +262,29 @@ func (s *StreamEstimator) recFor(te *iss.TraceEntry) *plan.Rec {
 	return &s.scratch
 }
 
-// consumeEntry simulates every structural block for every cycle of one
-// retired instruction.
-func (s *StreamEstimator) consumeEntry(te *iss.TraceEntry) error {
+// wrapEntryFault converts an entry-level estimation failure into a
+// typed fault naming the offending entry — its zero-based global trace
+// index and program counter — so chaos and partial-fit failure logs can
+// point at the exact retired instruction instead of an anonymous error.
+func (s *StreamEstimator) wrapEntryFault(te *iss.TraceEntry, idx uint64, err error) error {
+	return &iss.Fault{
+		Kind:  iss.FaultIllegalInstr,
+		PC:    int(te.PC),
+		Instr: te.Instr,
+		Msg:   fmt.Sprintf("stream estimator: trace entry %d", idx),
+		Err:   err,
+	}
+}
+
+// prepEntry advances the per-entry sequential state (cycle total,
+// switching history) and fills s.activity with the entry's per-block
+// active cycle counts. It is the shared front half of the sequential
+// and scheduled paths; both must charge blocks identically.
+func (s *StreamEstimator) prepEntry(te *iss.TraceEntry) (cyc int, pAct float64, err error) {
 	e := s.e
 	idx := e.kindIdx
 
-	cyc := int(te.Cycles)
+	cyc = int(te.Cycles)
 	if cyc <= 0 {
 		cyc = 1
 	}
@@ -153,9 +341,9 @@ func (s *StreamEstimator) consumeEntry(te *iss.TraceEntry) error {
 		ci := rec.CI
 		if ci == nil {
 			// Cold path: re-query the extension so callers get the
-			// original undefined-instruction error.
-			_, err := e.proc.TIE.Instruction(in.CustomID)
-			return err
+			// original undefined-instruction error as the cause.
+			_, qerr := e.proc.TIE.Instruction(in.CustomID)
+			return 0, 0, qerr
 		}
 		for _, ci2 := range rec.Active {
 			activity[e.proc.CustomBlockBase+ci2] += ci.Latency
@@ -191,12 +379,231 @@ func (s *StreamEstimator) consumeEntry(te *iss.TraceEntry) error {
 		}
 	}
 
-	// Simulate every block for every cycle of this instruction.
-	pAct := pActiveNominal * (1 + e.tech.SwitchingWeight*(2*sw-1))
+	pAct = pActiveNominal * (1 + e.tech.SwitchingWeight*(2*sw-1))
+	return cyc, pAct, nil
+}
+
+// emitSegments compiles one prepped entry into draw segments, in the
+// exact block and active-before-idle order the sequential path
+// simulates them.
+func (s *StreamEstimator) emitSegments(sc *schedule, cyc int, pAct float64) {
+	thrA := toggleThreshold(pAct)
+	for bi := range s.e.blocks {
+		bm := &s.e.blocks[bi]
+		act := s.activity[bi]
+		if act > cyc {
+			act = cyc
+		}
+		if act > 0 {
+			sc.thr = append(sc.thr, thrA)
+			sc.draws = append(sc.draws, uint32(act*bm.nets))
+			sc.bk = append(sc.bk, uint32(bi)<<1)
+			sc.total += uint64(act) * uint64(bm.nets)
+		}
+		if idle := cyc - act; idle > 0 {
+			sc.thr = append(sc.thr, s.thrIdle)
+			sc.draws = append(sc.draws, uint32(idle*bm.nets))
+			sc.bk = append(sc.bk, uint32(bi)<<1|1)
+			sc.total += uint64(idle) * uint64(bm.nets)
+		}
+	}
+	sc.entEnd = append(sc.entEnd, int32(len(sc.thr)))
+	sc.entCyc = append(sc.entCyc, uint32(cyc))
+}
+
+// countChunkSeq counts a small chunk's schedule with the plain scalar
+// chain — the same walk simulateNets performs, minus the float fold.
+func (s *StreamEstimator) countChunkSeq(sc *schedule) {
+	st := s.rng
+	sc.counts = sc.counts[:len(sc.thr)]
+	for i := range sc.thr {
+		thr := sc.thr[i]
+		n := sc.draws[i]
+		c := uint32(0)
+		for k := uint32(0); k < n; k++ {
+			st ^= st << 13
+			st ^= st >> 17
+			st ^= st << 5
+			if st < thr {
+				c++
+			}
+		}
+		sc.counts[i] = c
+	}
+	s.rng = st
+}
+
+// countChunkLanes counts the chunk's schedule with the jump-ahead lane
+// kernel: the draw chain is cut into equal stripes (8 per walk, one
+// walk per shard), segments are clipped at stripe boundaries into lane
+// records, each stripe's start state comes from JumpAhead, and the
+// walks run concurrently when sharding is enabled. Counts land in the
+// same per-segment slots the sequential walk fills, additively for
+// boundary-split segments, so the totals are identical integers.
+func (s *StreamEstimator) countChunkLanes(sc *schedule) {
+	nseg := len(sc.thr)
+	sc.counts = sc.counts[:nseg]
+	for i := range sc.counts {
+		sc.counts[i] = 0
+	}
+
+	nWalks := 1
+	if s.Shards > 1 && sc.total >= shardMinDraws {
+		nWalks = s.Shards
+		if max := int(sc.total / (walkLanes * shardMinLaneDraws)); nWalks > max {
+			nWalks = max
+		}
+		if nWalks < 1 {
+			nWalks = 1
+		}
+	}
+	lanes := nWalks * walkLanes
+	q := sc.total / uint64(lanes)
+
+	// Clip segments into per-lane record runs: lanes 0..lanes-2 own q
+	// draws each, the last lane owns the remainder.
+	recs := sc.recs[:0]
+	laneEnd := sc.laneEnd[:0]
+	lane := 0
+	left := q
+	for i := 0; i < nseg; i++ {
+		rem := uint64(sc.draws[i])
+		for rem > 0 {
+			if left == 0 {
+				laneEnd = append(laneEnd, int32(len(recs)))
+				lane++
+				left = q
+				if lane == lanes-1 {
+					left = sc.total // the last lane takes all the rest
+				}
+			}
+			take := rem
+			if take > left {
+				take = left
+			}
+			recs = append(recs, laneRec{thr: sc.thr[i], rem: uint32(take), slot: uint32(i)})
+			rem -= take
+			left -= take
+		}
+	}
+	for len(laneEnd) < lanes {
+		laneEnd = append(laneEnd, int32(len(recs)))
+	}
+	sc.recs, sc.laneEnd = recs, laneEnd
+
+	// Exact lane start states via jump-ahead, and the chunk's exit
+	// state for chain continuity into the next chunk.
+	states := sc.laneStates[:0]
+	st := s.rng
+	for l := 0; l < lanes; l++ {
+		states = append(states, st)
+		if l < lanes-1 {
+			st = JumpAhead(st, q)
+		}
+	}
+	sc.laneStates = states
+	s.rng = JumpAhead(s.rng, sc.total)
+
+	if cap(sc.walks) < nWalks {
+		sc.walks = make([]walk8, nWalks)
+	}
+	sc.walks = sc.walks[:nWalks]
+	for len(sc.shardCounts) < nWalks-1 {
+		sc.shardCounts = append(sc.shardCounts, make([]uint32, 0, cap(sc.counts)))
+	}
+	for w := 0; w < nWalks; w++ {
+		wk := &sc.walks[w]
+		wk.recs = recs
+		if w == 0 {
+			wk.counts = sc.counts
+		} else {
+			cnts := sc.shardCounts[w-1]
+			if cap(cnts) < nseg {
+				cnts = make([]uint32, nseg)
+			}
+			cnts = cnts[:nseg]
+			for i := range cnts {
+				cnts[i] = 0
+			}
+			sc.shardCounts[w-1] = cnts
+			wk.counts = cnts
+		}
+		for j := 0; j < walkLanes; j++ {
+			l := w*walkLanes + j
+			start := int32(0)
+			if l > 0 {
+				start = laneEnd[l-1]
+			}
+			wk.off[j] = uint32(start)
+			wk.cnt[j] = uint32(laneEnd[l] - start)
+			wk.st[j] = states[l]
+		}
+	}
+
+	if nWalks == 1 {
+		countStripes8(&sc.walks[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < nWalks; w++ {
+		wg.Add(1)
+		go func(wk *walk8) {
+			defer wg.Done()
+			countStripes8(wk)
+		}(&sc.walks[w])
+	}
+	countStripes8(&sc.walks[0])
+	wg.Wait()
+	for w := 1; w < nWalks; w++ {
+		cnts := sc.shardCounts[w-1]
+		for i := 0; i < nseg; i++ {
+			sc.counts[i] += cnts[i]
+		}
+	}
+}
+
+// foldChunk turns toggle counts into energies, replaying the float
+// operations in the sequential order: per entry, per block, active
+// then idle, each count scaled and added to the block and entry
+// accumulators exactly as the sequential path does.
+func (s *StreamEstimator) foldChunk(sc *schedule, ne int) {
+	e := s.e
+	si := 0
+	for i := 0; i < ne; i++ {
+		last := int(sc.entEnd[i])
+		var entryPJ float64
+		for ; si < last; si++ {
+			bk := sc.bk[si]
+			bm := &e.blocks[bk>>1]
+			pjNet := bm.activePJNet
+			if bk&1 != 0 {
+				pjNet = bm.idlePJNet
+			}
+			pj := float64(sc.counts[si]) * pjNet
+			s.perBlock[bk>>1] += pj
+			entryPJ += pj
+		}
+		if s.OnEntry != nil {
+			s.OnEntry(int(s.entries), uint64(sc.entCyc[i]), entryPJ)
+		}
+		s.entries++
+	}
+}
+
+// consumeEntrySeq simulates every structural block for every cycle of
+// one retired instruction on the scalar chain — the sequential
+// reference path, used for chunks outside the lane kernel's sizing
+// envelope and as the differential oracle for the lane kernel.
+func (s *StreamEstimator) consumeEntrySeq(te *iss.TraceEntry) error {
+	e := s.e
+	cyc, pAct, err := s.prepEntry(te)
+	if err != nil {
+		return s.wrapEntryFault(te, s.entries, err)
+	}
 	var entryPJ float64
 	for bi := range e.blocks {
 		bm := &e.blocks[bi]
-		act := activity[bi]
+		act := s.activity[bi]
 		if act > cyc {
 			act = cyc
 		}
@@ -221,15 +628,11 @@ func (s *StreamEstimator) consumeEntry(te *iss.TraceEntry) error {
 // simulateNets advances the toggle process of a net population for the
 // given number of cycles and returns the number of observed toggles.
 // This per-net work is what a gate-level power simulator fundamentally
-// does, and is what makes the reference path slow.
+// does, and is what makes the reference path slow; the lane kernel
+// (countChunkLanes) computes the same counts from the same states with
+// the serial dependency broken by jump-ahead.
 func (s *StreamEstimator) simulateNets(nets, cycles int, p float64) float64 {
-	if p < 0 {
-		p = 0
-	}
-	if p > 1 {
-		p = 1
-	}
-	threshold := uint32(p * float64(1<<32-1))
+	threshold := toggleThreshold(p)
 	toggles := 0
 	st := s.rng
 	for c := 0; c < cycles; c++ {
