@@ -1,0 +1,58 @@
+// Command xanalyze runs the project-invariant analyzer suite
+// (internal/analyzers) over this module's packages.
+//
+// Usage:
+//
+//	xanalyze [-list] [patterns...]
+//
+// Patterns default to ./... and are resolved by `go list` in the current
+// directory. Exit status: 0 clean, 1 findings reported, 2 usage or load
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xtenergy/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := flag.Args()
+	pkgs, err := analyzers.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		pass := &analyzers.Pass{Pkg: pkg}
+		for _, a := range analyzers.All() {
+			for _, d := range a.Run(pass) {
+				fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Msg)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "xanalyze: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

@@ -9,6 +9,7 @@
 //	xlint -w <name>                 analyze a built-in workload
 //	xlint <file.s>                  assemble and analyze an assembly file (base ISA)
 //	xlint -energy-bounds -w <name>  static per-invocation energy bounds
+//	xlint -wcec -w <name>           concrete worst/best-case energy (trip counts inferred)
 //	xlint -model fit.json ...       price bounds with a fitted model instead of unit coefficients
 //
 // Exit status: 0 when the program is clean (notes do not count), 1 when
@@ -20,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
@@ -42,6 +44,7 @@ func run() (int, error) {
 	name := flag.String("w", "", "analyze the named built-in workload")
 	asJSON := flag.Bool("json", false, "emit findings (and bounds) as JSON")
 	energy := flag.Bool("energy-bounds", false, "compute static per-invocation energy bounds")
+	wcec := flag.Bool("wcec", false, "compute concrete WCEC/BCEC with inferred loop trip counts")
 	modelPath := flag.String("model", "", "fitted macro-model JSON for -energy-bounds (default: unit coefficients)")
 	notes := flag.Bool("notes", false, "also print note-severity findings")
 	disable := flag.String("disable", "", "comma-separated finding codes to suppress")
@@ -84,7 +87,11 @@ func run() (int, error) {
 
 	var opts []xlint.Option
 	if *disable != "" {
-		opts = append(opts, xlint.Disable(strings.Split(*disable, ",")...))
+		codes := strings.Split(*disable, ",")
+		if err := xlint.ValidateCodes(codes); err != nil {
+			return 2, err
+		}
+		opts = append(opts, xlint.Disable(codes...))
 	}
 	rep := xlint.Analyze(prog, proc, opts...)
 
@@ -99,6 +106,9 @@ func run() (int, error) {
 		status = 1
 	}
 
+	if *wcec {
+		return status, reportWCEC(rep, proc, *modelPath, *asJSON, shown)
+	}
 	if *energy {
 		return status, reportEnergy(rep, proc, *modelPath, *asJSON, shown)
 	}
@@ -202,6 +212,64 @@ func reportEnergy(rep *xlint.Report, proc *procgen.Processor, modelPath string, 
 			l.FromPC, l.HeaderPC, l.PerIter.Lo, l.PerIter.Hi)
 	}
 	return nil
+}
+
+func reportWCEC(rep *xlint.Report, proc *procgen.Processor, modelPath string, asJSON bool, shown []xlint.Finding) error {
+	model, origin, err := loadModel(modelPath)
+	if err != nil {
+		return err
+	}
+	w, err := xlint.ComputeWCEC(rep.CFG, rep.Abs, proc, model)
+	if err != nil {
+		return err
+	}
+
+	if asJSON {
+		var terms []map[string]any
+		for _, t := range w.Terms {
+			terms = append(terms, map[string]any{
+				"from_pc": t.FromPC, "header_pc": t.HeaderPC,
+				"per_iter_lo_pj": finiteOrNull(t.PerIter.Lo), "per_iter_hi_pj": finiteOrNull(t.PerIter.Hi),
+				"trips_lo": finiteOrNull(t.TripLo), "trips_hi": finiteOrNull(t.TripHi),
+				"source": t.Source,
+			})
+		}
+		return writeJSON(map[string]any{
+			"program":       rep.Prog.Name,
+			"model":         origin,
+			"findings":      jsonFindings(shown),
+			"acyclic_lo_pj": w.Acyclic.Lo,
+			"acyclic_hi_pj": w.Acyclic.Hi,
+			"loops":         terms,
+			"bcec_pj":       finiteOrNull(w.BCEC),
+			"wcec_pj":       finiteOrNull(w.WCEC),
+			"bounded":       w.Bounded,
+		})
+	}
+
+	fmt.Printf("%s: worst-case energy (model: %s)\n", rep.Prog.Name, origin)
+	fmt.Printf("  acyclic: %.2f .. %.2f pJ\n", w.Acyclic.Lo, w.Acyclic.Hi)
+	for _, t := range w.Terms {
+		fmt.Printf("    loop pc %d -> pc %d: trips [%g, %g] (%s) x [%.2f .. %.2f] pJ/iter\n",
+			t.FromPC, t.HeaderPC, t.TripLo, t.TripHi, t.Source, t.PerIter.Lo, t.PerIter.Hi)
+	}
+	if w.Bounded {
+		fmt.Printf("  BCEC %.2f pJ  <=  energy  <=  WCEC %.2f pJ\n", w.BCEC, w.WCEC)
+	} else {
+		fmt.Printf("  unbounded: BCEC %g pJ, WCEC %g pJ\n", w.BCEC, w.WCEC)
+	}
+	return nil
+}
+
+// finiteOrNull keeps unbounded quantities JSON-encodable: trip counts
+// and energy bounds are +Inf for loops the interpreter cannot bound,
+// and encoding/json rejects non-finite floats. JSON null means
+// "unbounded"; the "bounded" field says so explicitly.
+func finiteOrNull(v float64) any {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return v
 }
 
 func jsonFindings(fs []xlint.Finding) []map[string]any {

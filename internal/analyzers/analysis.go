@@ -1,0 +1,104 @@
+// Package analyzers is a self-contained static-analysis suite for this
+// repository's project invariants — the checks `go vet` cannot express
+// and golang.org/x/tools-based analyzers would need a network fetch for
+// (this module is intentionally dependency-free). The framework mirrors
+// go/analysis in miniature: an Analyzer inspects one type-checked
+// package and reports diagnostics.
+//
+// The shipped analyzers enforce:
+//
+//   - issfault: errors constructed in internal/iss are typed Faults (or
+//     wrap one with %w) so callers can triage them with iss.AsFault;
+//     ad-hoc errors.New/fmt.Errorf escape the fault taxonomy.
+//   - hotpath: functions annotated //xtenergy:hotpath (per-retire ISS
+//     and trace-pricing code) must not call fmt or errors — those
+//     allocate, and one allocation per retired instruction erases the
+//     predecoded-plan speedup.
+//   - exectable: the ISS dispatch table covers every base opcode the
+//     ISA enumerates, so adding an isa.Op* constant without an executor
+//     is caught at analysis time instead of as a runtime fault.
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command
+	// line.
+	Name string
+	// Doc is the one-line description `xanalyze -list` prints.
+	Doc string
+	// Run inspects the package and returns its diagnostics.
+	Run func(*Pass) []Diagnostic
+}
+
+// Pass is the per-package unit of work handed to an Analyzer.
+type Pass struct {
+	// Pkg is the loaded, type-checked package under analysis.
+	Pkg *Package
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{IssFault, HotPath, ExecTable}
+}
+
+// diag appends a finding at pos. The analyzer is named by string so Run
+// functions don't reference their own Analyzer variable (initialization
+// cycle).
+func (p *Pass) diag(out []Diagnostic, analyzer string, pos token.Pos, msg string) []Diagnostic {
+	return append(out, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: analyzer,
+		Msg:      msg,
+	})
+}
+
+// calleePkgFunc resolves a call expression to (package path, function
+// name) when the callee is a package-level function of another package
+// (fmt.Errorf, errors.New, ...); ok is false otherwise.
+func (p *Pass) calleePkgFunc(call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	ident, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := p.Pkg.Info.Uses[ident].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// funcDisplayName renders a FuncDecl as it is written in an allowlist:
+// "Name" for plain functions, "(T).Name" or "(*T).Name" for methods.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	star := ""
+	if se, isStar := recv.(*ast.StarExpr); isStar {
+		star = "*"
+		recv = se.X
+	}
+	id, isIdent := recv.(*ast.Ident)
+	if !isIdent {
+		return fd.Name.Name
+	}
+	return "(" + star + id.Name + ")." + fd.Name.Name
+}

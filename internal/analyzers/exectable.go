@@ -1,0 +1,120 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExecTable proves dispatch-table completeness: every isa.Op* opcode
+// constant (except OpInvalid and OpCUSTOM, which dispatch elsewhere)
+// must have a `t[isa.OpX] = ...` entry somewhere in internal/iss. A new
+// opcode without an executor is otherwise only discovered when a program
+// faults at runtime on the nil table entry.
+var ExecTable = &Analyzer{
+	Name: "exectable",
+	Doc:  "the ISS exec table must cover every base opcode the ISA enumerates",
+	Run:  runExecTable,
+}
+
+// execTableExempt are opcodes intentionally absent from the table.
+var execTableExempt = map[string]bool{
+	"OpInvalid": true, // zero value: detectably uninitialized, faults on purpose
+	"OpCUSTOM":  true, // custom instructions dispatch through the TIE extension
+}
+
+func runExecTable(p *Pass) []Diagnostic {
+	if !isIssPackage(p.Pkg.PkgPath) {
+		return nil
+	}
+	isaPkg := importedPkg(p.Pkg.Types, "internal/isa")
+	if isaPkg == nil {
+		return nil
+	}
+
+	// The full opcode enumeration, from the type-checked isa package.
+	want := make(map[string]bool)
+	scope := isaPkg.Scope()
+	for _, name := range scope.Names() {
+		c, isConst := scope.Lookup(name).(*types.Const)
+		if !isConst || !strings.HasPrefix(name, "Op") || execTableExempt[name] {
+			continue
+		}
+		if named, isNamed := c.Type().(*types.Named); isNamed && named.Obj().Name() == "Opcode" {
+			want[name] = true
+		}
+	}
+
+	// Every `<indexable>[isa.OpX] = ...` assignment counts as coverage.
+	var tablePos token.Pos
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			asn, isAssign := n.(*ast.AssignStmt)
+			if !isAssign {
+				return true
+			}
+			for _, lhs := range asn.Lhs {
+				idx, isIndex := lhs.(*ast.IndexExpr)
+				if !isIndex {
+					continue
+				}
+				sel, isSel := idx.Index.(*ast.SelectorExpr)
+				if !isSel {
+					continue
+				}
+				obj := p.Pkg.Info.Uses[sel.Sel]
+				c, isConst := obj.(*types.Const)
+				if !isConst || c.Pkg() != isaPkg {
+					continue
+				}
+				if want[c.Name()] {
+					delete(want, c.Name())
+					if !tablePos.IsValid() {
+						tablePos = idx.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	if len(want) == 0 {
+		return nil
+	}
+	missing := make([]string, 0, len(want))
+	for name := range want {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	pos := tablePos
+	if !pos.IsValid() && len(p.Pkg.Files) > 0 {
+		pos = p.Pkg.Files[0].Pos()
+	}
+	return p.diag(nil, "exectable", pos,
+		"exec table missing executors for: "+strings.Join(missing, ", "))
+}
+
+// importedPkg finds a direct or transitive import whose path ends in
+// suffix.
+func importedPkg(pkg *types.Package, suffix string) *types.Package {
+	seen := make(map[*types.Package]bool)
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if strings.HasSuffix(imp.Path(), suffix) {
+				return imp
+			}
+			if found := walk(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}

@@ -1,0 +1,79 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// issFaultAllowlist names the internal/iss functions that may construct
+// plain (non-Fault) errors: construction-time validation and harness
+// APIs whose callers never triage by fault kind.
+var issFaultAllowlist = map[string]bool{
+	"(*Program).Validate":  true,
+	"(*Simulator).ReadMem": true,
+}
+
+// IssFault enforces the fault taxonomy: errors born inside internal/iss
+// must be typed *Fault (constructed via newFault) or wrap an underlying
+// error with %w so the Fault survives errors.As. A bare errors.New or
+// fmt.Errorf would hand the measurement pipeline an untriageable error
+// and silently degrade its typed-retry logic.
+var IssFault = &Analyzer{
+	Name: "issfault",
+	Doc:  "internal/iss errors must be typed Faults or %w-wraps (allowlist: construction-time validation)",
+	Run:  runIssFault,
+}
+
+func runIssFault(p *Pass) []Diagnostic {
+	if !isIssPackage(p.Pkg.PkgPath) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			allowed := issFaultAllowlist[funcDisplayName(fd)]
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				pkgPath, fn, ok := p.calleePkgFunc(call)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkgPath == "errors" && fn == "New":
+					out = p.diag(out, "issfault", call.Pos(),
+						"errors.New in internal/iss: construct a typed *Fault (newFault) instead")
+				case pkgPath == "fmt" && fn == "Errorf":
+					if wrapsError(call) || allowed {
+						return true
+					}
+					out = p.diag(out, "issfault", call.Pos(),
+						"fmt.Errorf in internal/iss without %w: construct a typed *Fault (newFault) or wrap the cause")
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// wrapsError reports whether the fmt.Errorf call's literal format
+// contains a %w verb. A non-literal format cannot be proven to wrap, so
+// it does not count.
+func wrapsError(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, isLit := call.Args[0].(*ast.BasicLit)
+	if !isLit || lit.Kind != token.STRING {
+		return false
+	}
+	return strings.Contains(lit.Value, "%w")
+}

@@ -1,0 +1,185 @@
+package analyzers
+
+// Package loading without golang.org/x/tools/go/packages: `go list
+// -export -deps` resolves the import graph and compiles export data
+// into the build cache, and the gc importer reads dependency types from
+// those files while the target packages themselves are parsed and
+// type-checked from source. Works fully offline — the only external
+// process is the go tool itself.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Incomplete bool
+}
+
+// Load lists, parses, and type-checks the packages matching patterns in
+// dir (the module root or any directory inside it). Test files are not
+// included — the invariants under analysis are production-code
+// properties.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-json", "-export", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analyzers: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listEntry
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analyzers: go list output: %v", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Incomplete && len(e.GoFiles) > 0 {
+			targets = append(targets, e)
+		}
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analyzers: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+
+	var out []*Package
+	for _, e := range targets {
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, name := range e.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analyzers: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{
+			Importer: importer.ForCompiler(fset, "gc", lookup),
+			Error:    func(error) {}, // collect what we can; first error returned below
+		}
+		tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: typecheck %s: %v", e.ImportPath, err)
+		}
+		out = append(out, &Package{
+			PkgPath: e.ImportPath,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return out, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// CheckSource type-checks synthetic source files under the given import
+// path against an importer fed by a previously loaded module — the
+// negative-test harness, so analyzer tests can exercise violations
+// without planting them in the real tree.
+func CheckSource(pkgPath string, srcs map[string]string, exportsFrom string) (*Package, error) {
+	args := []string{"list", "-e", "-json", "-export", "-deps", "std", "./..."}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = exportsFrom
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analyzers: go list std: %v\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analyzers: go list output: %v", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analyzers: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for name, src := range srcs {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: typecheck %s: %v", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// isIssPackage gates the internal/iss-specific analyzers so synthetic
+// test packages under other module paths participate too.
+func isIssPackage(pkgPath string) bool {
+	return strings.HasSuffix(pkgPath, "internal/iss")
+}

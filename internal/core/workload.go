@@ -22,6 +22,12 @@ type Workload struct {
 	// Ext is the TIE extension the program's custom mnemonics come from;
 	// nil for base-only programs.
 	Ext *tie.Extension
+	// LintExempt lists xlint finding codes this workload is allowed to
+	// trigger, declared where the workload is defined so the exemption
+	// travels with it. Stress kernels use it for the dataflow checks
+	// their toggling patterns intentionally violate; structural checks
+	// can't be exempted this way unless a test opts in.
+	LintExempt []string
 }
 
 // Build generates the workload's processor instance under cfg and

@@ -36,6 +36,8 @@ type execFn func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEn
 // branchClose settles a conditional branch: taken pays the redirect
 // penalty and flushes the hazard window; both outcomes close the entry's
 // cycles into the corresponding branch class bucket.
+//
+//xtenergy:hotpath
 func (s *Simulator) branchClose(res *baseResult, target int, taken bool, te *TraceEntry) {
 	te.Taken = taken
 	if taken {
@@ -49,6 +51,8 @@ func (s *Simulator) branchClose(res *baseResult, target int, taken bool, te *Tra
 }
 
 // jumpClose settles an unconditional transfer to target.
+//
+//xtenergy:hotpath
 func (s *Simulator) jumpClose(res *baseResult, target int) {
 	res.cycles += s.pipe.JumpPenalty
 	res.nextPC = target
@@ -58,6 +62,8 @@ func (s *Simulator) jumpClose(res *baseResult, target int) {
 
 // alu builds the handler for a plain arithmetic-class instruction that
 // writes f(in, rs, rt) to Rd.
+//
+//xtenergy:hotpath
 func alu(f func(in isa.Instr, rs, rt uint32) uint32) execFn {
 	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
 		v := f(rec.Instr, rs, rt)
@@ -70,6 +76,8 @@ func alu(f func(in isa.Instr, rs, rt uint32) uint32) execFn {
 
 // cmov builds a conditional-move handler: Rd keeps its old value when
 // the condition on rt fails (which is why conditional moves read Rd).
+//
+//xtenergy:hotpath
 func cmov(cond func(rt uint32) bool) execFn {
 	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
 		v := s.regs[rec.Instr.Rd]
@@ -85,6 +93,8 @@ func cmov(cond func(rt uint32) bool) execFn {
 
 // loadOp builds a load handler. pcRel marks L32R's absolute addressing;
 // ext applies sign extension (nil for zero-extending loads).
+//
+//xtenergy:hotpath
 func loadOp(size int, ext func(v uint32) uint32, pcRel bool) execFn {
 	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
 		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
@@ -115,6 +125,8 @@ func loadOp(size int, ext func(v uint32) uint32, pcRel bool) execFn {
 }
 
 // storeOp builds a store handler (the store data register is Rd).
+//
+//xtenergy:hotpath
 func storeOp(size int) execFn {
 	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
 		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
@@ -139,6 +151,8 @@ func storeOp(size int) execFn {
 
 // brRR builds a register-register conditional branch handler; the taken
 // target comes predecoded from the plan record.
+//
+//xtenergy:hotpath
 func brRR(cond func(rs, rt uint32) bool) execFn {
 	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
 		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
@@ -149,6 +163,8 @@ func brRR(cond func(rs, rt uint32) bool) execFn {
 
 // brSI builds a signed register-immediate branch handler; the 6-bit
 // constant carried in the Rt field is predecoded into rec.SImm.
+//
+//xtenergy:hotpath
 func brSI(cond func(rs, k int32) bool) execFn {
 	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
 		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
@@ -159,6 +175,8 @@ func brSI(cond func(rs, k int32) bool) execFn {
 
 // brRt builds a branch handler whose condition reads the raw Rt field
 // (unsigned-immediate compares and bit tests).
+//
+//xtenergy:hotpath
 func brRt(cond func(rs uint32, rtField uint8) bool) execFn {
 	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
 		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
@@ -168,6 +186,8 @@ func brRt(cond func(rs uint32, rtField uint8) bool) execFn {
 }
 
 // brZ builds a register-zero compare branch handler.
+//
+//xtenergy:hotpath
 func brZ(cond func(rs uint32) bool) execFn {
 	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
 		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}
@@ -221,6 +241,8 @@ func execRET(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry)
 
 // loopOp builds the zero-overhead loop setup handler (the configurable
 // loop option); the loop end address is predecoded into rec.Target.
+//
+//xtenergy:hotpath
 func loopOp(nez bool) execFn {
 	return func(s *Simulator, rec *plan.Rec, pc int, rs, rt uint32, te *TraceEntry) (baseResult, error) {
 		res := baseResult{cycles: rec.Def.Cycles, nextPC: pc + 1}

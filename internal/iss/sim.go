@@ -53,6 +53,15 @@ type Options struct {
 	// This is the seam the internal/chaos fault-injection harness
 	// uses; leave nil in production runs.
 	InjectFault func(pc int, cycle uint64) *Fault
+	// RegProbe, when non-nil, observes the architectural register file
+	// immediately before each instruction executes: it is called with
+	// the upcoming pc and the live register array (read-only; the array
+	// is the simulator's own state, so the probe must not write to it or
+	// retain the pointer past the call). This is the dynamic oracle the
+	// xlint abstract interpreter's soundness tests are validated
+	// against: every observed value must lie inside the statically
+	// inferred interval at that pc.
+	RegProbe func(pc int, regs *[isa.NumRegs]uint32)
 }
 
 // UninitRead records one dynamic read of a never-written register.
@@ -109,6 +118,9 @@ type Simulator struct {
 	// run; batch is the reusable fixed-size delivery buffer.
 	sink  func(batch []TraceEntry) error
 	batch []TraceEntry
+
+	// probe is Options.RegProbe for the current run.
+	probe func(pc int, regs *[isa.NumRegs]uint32)
 
 	// entry is the scratch trace entry for the step in flight. It lives
 	// on the simulator (not the step frame) because its address crosses
@@ -187,6 +199,7 @@ func (s *Simulator) RunContext(ctx context.Context, prog *Program, opts Options)
 		}
 		s.batch = s.batch[:0]
 	}
+	s.probe = opts.RegProbe
 	s.trackInit = opts.RecordUninitReads
 	if s.trackInit {
 		s.uninitSeen = make(map[int]uint64)
@@ -324,9 +337,15 @@ func (s *Simulator) reset(prog *Program) {
 // address, branch targets, custom-instruction attributes — comes from
 // the predecoded plan record; the loop only computes what depends on
 // dynamic state.
+//
+//xtenergy:hotpath
 func (s *Simulator) step(pc int, collect bool) (next int, halt bool, err error) {
 	rec := &s.plan.Recs[pc]
 	in := rec.Instr
+
+	if s.probe != nil {
+		s.probe(pc, &s.regs)
+	}
 
 	te := &s.entry
 	*te = TraceEntry{}
@@ -413,6 +432,8 @@ func (s *Simulator) step(pc int, collect bool) (next int, halt bool, err error) 
 // loopBack applies the zero-overhead loop option: reaching the loop end
 // redirects to the loop begin with no bubble (the hardware tracks the
 // addresses in dedicated registers).
+//
+//xtenergy:hotpath
 func (s *Simulator) loopBack(next int) int {
 	if s.loopActive && next == s.loopEnd {
 		if s.loopCount > 0 {

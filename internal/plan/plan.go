@@ -33,6 +33,25 @@ import (
 	"xtenergy/internal/tie"
 )
 
+// Flow classifies how an instruction computes its destination register
+// as a function of its Rs operand — the value-flow shapes the abstract
+// interpreter's induction-variable detection needs to recognize without
+// re-deriving opcode semantics. Anything not exactly one of the listed
+// shapes is FlowOpaque; consumers must treat opaque flows as arbitrary.
+type Flow uint8
+
+const (
+	// FlowOpaque: the destination is not a recognized function of Rs.
+	FlowOpaque Flow = iota
+	// FlowConst: rd = FlowK (MOVI).
+	FlowConst
+	// FlowAddImm: rd = rs + FlowK with FlowK sign-extended (ADDI). When
+	// Rd == Rs this is the canonical induction-variable step.
+	FlowAddImm
+	// FlowCopy: rd = rs (MOV).
+	FlowCopy
+)
+
 // Rec is the fully resolved metadata of one static instruction. All
 // fields are derivable from (Instr, compiled extension, pc, layout);
 // they are materialized so per-retire consumers never re-derive them.
@@ -82,6 +101,11 @@ type Rec struct {
 	// during execution (any bus-latched read or write; for custom
 	// instructions, whether the extension touches the general file).
 	RegfileActive bool
+
+	// Flow is the instruction's value-flow shape (see Flow); FlowK is
+	// the constant it carries (the MOVI immediate, the ADDI addend).
+	Flow  Flow
+	FlowK int32
 
 	// CI is the compiled custom instruction when Instr is a defined
 	// custom op; nil otherwise (including custom ops whose ID the
@@ -194,6 +218,14 @@ func Describe(comp *tie.Compiled, in isa.Instr) Rec {
 	}
 	r.IsMult = IsMult(in.Op)
 	r.IsShift = IsShift(in.Op)
+	switch in.Op {
+	case isa.OpMOVI:
+		r.Flow, r.FlowK = FlowConst, in.Imm
+	case isa.OpADDI:
+		r.Flow, r.FlowK = FlowAddImm, in.Imm
+	case isa.OpMOV:
+		r.Flow = FlowCopy
+	}
 	r.RegfileActive = r.Def.ReadsRs || r.Def.ReadsRt || r.Def.WritesRd
 	if r.Def.Format == isa.FormatBranchRI {
 		// The Rt field of a register-immediate branch carries a

@@ -386,6 +386,8 @@ func (s *StreamEstimator) prepEntry(te *iss.TraceEntry) (cyc int, pAct float64, 
 // emitSegments compiles one prepped entry into draw segments, in the
 // exact block and active-before-idle order the sequential path
 // simulates them.
+//
+//xtenergy:hotpath
 func (s *StreamEstimator) emitSegments(sc *schedule, cyc int, pAct float64) {
 	thrA := toggleThreshold(pAct)
 	for bi := range s.e.blocks {
@@ -413,6 +415,8 @@ func (s *StreamEstimator) emitSegments(sc *schedule, cyc int, pAct float64) {
 
 // countChunkSeq counts a small chunk's schedule with the plain scalar
 // chain — the same walk simulateNets performs, minus the float fold.
+//
+//xtenergy:hotpath
 func (s *StreamEstimator) countChunkSeq(sc *schedule) {
 	st := s.rng
 	sc.counts = sc.counts[:len(sc.thr)]
@@ -440,6 +444,8 @@ func (s *StreamEstimator) countChunkSeq(sc *schedule) {
 // walks run concurrently when sharding is enabled. Counts land in the
 // same per-segment slots the sequential walk fills, additively for
 // boundary-split segments, so the totals are identical integers.
+//
+//xtenergy:hotpath
 func (s *StreamEstimator) countChunkLanes(sc *schedule) {
 	nseg := len(sc.thr)
 	sc.counts = sc.counts[:nseg]
@@ -566,6 +572,8 @@ func (s *StreamEstimator) countChunkLanes(sc *schedule) {
 // operations in the sequential order: per entry, per block, active
 // then idle, each count scaled and added to the block and entry
 // accumulators exactly as the sequential path does.
+//
+//xtenergy:hotpath
 func (s *StreamEstimator) foldChunk(sc *schedule, ne int) {
 	e := s.e
 	si := 0
@@ -631,6 +639,8 @@ func (s *StreamEstimator) consumeEntrySeq(te *iss.TraceEntry) error {
 // does, and is what makes the reference path slow; the lane kernel
 // (countChunkLanes) computes the same counts from the same states with
 // the serial dependency broken by jump-ahead.
+//
+//xtenergy:hotpath
 func (s *StreamEstimator) simulateNets(nets, cycles int, p float64) float64 {
 	threshold := toggleThreshold(p)
 	toggles := 0

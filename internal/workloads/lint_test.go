@@ -14,18 +14,11 @@ import (
 // several kernels deliberately keep a load-use pair when unrolling would
 // cost more than the stall.
 //
-// The characterization suite is exempt from the two dataflow checks:
-// its stress kernels intentionally write ALU-toggling results nobody
-// reads and read reset-zero scratch registers (defined behavior on this
-// core — the register file resets to zero). Every structural check
-// (operand ranges, TIE validity, control-flow targets, option gating,
-// reachability) still applies to them.
+// Exemptions come from the workload's own LintExempt annotation, set at
+// its definition site (the characterization stress kernels exempt the
+// two dataflow checks their toggling patterns intentionally violate).
 func TestWorkloadsLintClean(t *testing.T) {
 	cfg := procgen.Default()
-	stress := make(map[string]bool)
-	for _, w := range workloads.CharacterizationSuite() {
-		stress[w.Name] = true
-	}
 	for _, w := range workloads.All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
@@ -34,8 +27,11 @@ func TestWorkloadsLintClean(t *testing.T) {
 				t.Fatal(err)
 			}
 			var opts []xlint.Option
-			if stress[w.Name] {
-				opts = append(opts, xlint.Disable("dead-write", "uninit-read"))
+			if len(w.LintExempt) > 0 {
+				if err := xlint.ValidateCodes(w.LintExempt); err != nil {
+					t.Fatalf("bad LintExempt annotation: %v", err)
+				}
+				opts = append(opts, xlint.Disable(w.LintExempt...))
 			}
 			rep := xlint.Analyze(prog, proc, opts...)
 			for _, f := range rep.Findings {

@@ -19,6 +19,13 @@ import (
 // are individually less diverse, so the suite holds 40 (14 base-only, 10
 // cover, 10 width-rotated hybrids, 5 density variants, 1 mixed) to keep
 // the regression comfortably over-determined. See EXPERIMENTS.md.
+// stressExempt marks a characterization stress kernel's intentional
+// dataflow violations: these programs write ALU-toggling results nobody
+// reads and read reset-zero scratch registers (defined behavior on this
+// core — the register file resets to zero). Only the two dataflow codes
+// are exempted; every structural check still applies.
+var stressExempt = []string{"dead-write", "uninit-read"}
+
 func CharacterizationSuite() []core.Workload {
 	ws := []core.Workload{
 		tpALUMix(), tpALUDep(), tpShift(), tpMul(),
@@ -37,7 +44,7 @@ func tpALUMix() core.Workload {
 	src := "start:\n" + seedScratch(11) +
 		loopAround("l_mix", 150, arithBlock(48, 101, "alu")) +
 		"    ret\n"
-	return core.Workload{Name: "tp01_alu_mix", Source: src}
+	return core.Workload{Name: "tp01_alu_mix", Source: src, LintExempt: stressExempt}
 }
 
 func tpALUDep() core.Workload {
@@ -47,21 +54,21 @@ func tpALUDep() core.Workload {
 	src := "start:\n" + seedScratch(12) +
 		loopAround("l_dep", 6, arithBlock(4600, 202, "blend")) +
 		"    ret\n"
-	return core.Workload{Name: "tp02_alu_blend", Source: src}
+	return core.Workload{Name: "tp02_alu_blend", Source: src, LintExempt: stressExempt}
 }
 
 func tpShift() core.Workload {
 	src := "start:\n" + seedScratch(13) +
 		loopAround("l_sh", 140, arithBlock(40, 303, "shift")) +
 		"    ret\n"
-	return core.Workload{Name: "tp03_shift", Source: src}
+	return core.Workload{Name: "tp03_shift", Source: src, LintExempt: stressExempt}
 }
 
 func tpMul() core.Workload {
 	src := "start:\n" + seedScratch(14) +
 		loopAround("l_mu", 110, arithBlock(36, 404, "mul")) +
 		"    ret\n"
-	return core.Workload{Name: "tp04_mul", Source: src}
+	return core.Workload{Name: "tp04_mul", Source: src, LintExempt: stressExempt}
 }
 
 func tpLoadStream() core.Workload {
@@ -95,7 +102,7 @@ l_ld2:
     ret
 .data 0x1000
 %s`, wordData("arr", randWords(1500, 7)))
-	return core.Workload{Name: "tp05_load_stream", Source: src}
+	return core.Workload{Name: "tp05_load_stream", Source: src, LintExempt: stressExempt}
 }
 
 func tpStoreStream() core.Workload {
@@ -120,7 +127,7 @@ l_st:
     bnez a15, l_rep
     ret
 `
-	return core.Workload{Name: "tp06_store_stream", Source: src}
+	return core.Workload{Name: "tp06_store_stream", Source: src, LintExempt: stressExempt}
 }
 
 func tpMemcpy() core.Workload {
@@ -147,7 +154,7 @@ l_cp:
     ret
 .data 0x1000
 %s`, wordData("src_a", randWords(3072, 9)))
-	return core.Workload{Name: "tp07_memcpy", Source: src}
+	return core.Workload{Name: "tp07_memcpy", Source: src, LintExempt: stressExempt}
 }
 
 func tpBranchTaken() core.Workload {
@@ -157,7 +164,7 @@ func tpBranchTaken() core.Workload {
 	}
 	src := "start:\n    movi a16, 5\n    movi a17, 0\n" +
 		loopAround("l_bt", 250, body) + "    ret\n"
-	return core.Workload{Name: "tp08_branch_taken", Source: src}
+	return core.Workload{Name: "tp08_branch_taken", Source: src, LintExempt: stressExempt}
 }
 
 func tpBranchUntaken() core.Workload {
@@ -167,7 +174,7 @@ func tpBranchUntaken() core.Workload {
 	}
 	src := "start:\n    movi a16, 5\n    movi a17, 0\n" +
 		loopAround("l_bu", 240, body) + "    ret\n"
-	return core.Workload{Name: "tp09_branch_untaken", Source: src}
+	return core.Workload{Name: "tp09_branch_untaken", Source: src, LintExempt: stressExempt}
 }
 
 func tpCalls() core.Workload {
@@ -199,7 +206,7 @@ f2:
 .cached
 done:
 `
-	return core.Workload{Name: "tp10_calls", Source: src}
+	return core.Workload{Name: "tp10_calls", Source: src, LintExempt: stressExempt}
 }
 
 func tpInterlock() core.Workload {
@@ -223,7 +230,7 @@ l_il:
     ret
 .data 0x1000
 %s`, wordData("arr", randWords(128, 21)))
-	return core.Workload{Name: "tp11_interlock", Source: src}
+	return core.Workload{Name: "tp11_interlock", Source: src, LintExempt: stressExempt}
 }
 
 func tpDCacheStride() core.Workload {
@@ -245,7 +252,7 @@ l_dc:
     bnez a15, l_rep
     ret
 `
-	return core.Workload{Name: "tp12_dcache_stride", Source: src}
+	return core.Workload{Name: "tp12_dcache_stride", Source: src, LintExempt: stressExempt}
 }
 
 func tpICacheBig() core.Workload {
@@ -254,7 +261,7 @@ func tpICacheBig() core.Workload {
 	src := "start:\n" + seedScratch(15) +
 		loopAround("l_ic", 5, arithBlock(5600, 505, "blend")) +
 		"    ret\n"
-	return core.Workload{Name: "tp13_icache_big", Source: src}
+	return core.Workload{Name: "tp13_icache_big", Source: src, LintExempt: stressExempt}
 }
 
 func tpUncached() core.Workload {
@@ -273,7 +280,7 @@ l_unc:
 .cached
     ret
 `
-	return core.Workload{Name: "tp14_uncached", Source: src}
+	return core.Workload{Name: "tp14_uncached", Source: src, LintExempt: stressExempt}
 }
 
 // coverPrograms builds the ten custom-hardware characterization
@@ -322,9 +329,10 @@ k_wrap:
 			loopAround("l_cov2", iters2, body2),
 			wordData("arr", randWords(256, uint32(300+i))))
 		out = append(out, core.Workload{
-			Name:   fmt.Sprintf("tp%02d_cover_%s", 15+i, catSlug(hwlib.Category(i))),
-			Source: src,
-			Ext:    ext,
+			Name:       fmt.Sprintf("tp%02d_cover_%s", 15+i, catSlug(hwlib.Category(i))),
+			Source:     src,
+			Ext:        ext,
+			LintExempt: stressExempt,
 		})
 	}
 	return out
@@ -375,9 +383,10 @@ h_wrap:
 			loopAround("h_l2", iters2, body2),
 			wordData("arr", randWords(320, uint32(600+i))))
 		out = append(out, core.Workload{
-			Name:   fmt.Sprintf("tp%02d_hybrid_%s", 25+i, catSlug(hwlib.Category(i))),
-			Source: src,
-			Ext:    ext,
+			Name:       fmt.Sprintf("tp%02d_hybrid_%s", 25+i, catSlug(hwlib.Category(i))),
+			Source:     src,
+			Ext:        ext,
+			LintExempt: stressExempt,
 		})
 	}
 	return out
@@ -445,7 +454,7 @@ d_t:
 %s`,
 			loopAround("d_loop", sp.iters, sp.body),
 			wordData("arr", randWords(240, 777)))
-		out = append(out, core.Workload{Name: sp.name, Source: src, Ext: ext})
+		out = append(out, core.Workload{Name: sp.name, Source: src, Ext: ext, LintExempt: stressExempt})
 	}
 	return out
 }
@@ -481,5 +490,5 @@ l_keep:
     ret
 .data 0x1000
 %s`, wordData("arr", randWords(256, 33)))
-	return core.Workload{Name: "tp40_mixed_custom", Source: src, Ext: mixedCoverExtension()}
+	return core.Workload{Name: "tp40_mixed_custom", Source: src, Ext: mixedCoverExtension(), LintExempt: stressExempt}
 }

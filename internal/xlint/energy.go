@@ -209,25 +209,27 @@ type PathReport struct {
 	Loops   []LoopTerm
 }
 
-// PathBounds computes the acyclic entry→exit energy interval and the
-// per-back-edge symbolic loop terms under the model. It fails when no
-// back-edge-free path from the entry reaches the exit (the program
-// cannot halt without iterating, so no finite acyclic bound exists).
-func (b *Bounds) PathBounds(m *core.MacroModel) (*PathReport, error) {
-	cfg := b.CFG
-	nb := len(cfg.Blocks)
-	blockE := b.BlockEnergy(m)
+// edgeRef identifies one CFG successor edge by source block ID and
+// index into that block's Succs.
+type edgeRef struct{ from, idx int }
 
-	// Classify back edges with an iterative DFS from the entry
-	// (gray-node detection); edges to unreachable blocks never execute.
-	type edgeRef struct{ from, idx int }
-	var backEdges []edgeRef
+// backEdges classifies the CFG's back edges with a DFS from the entry
+// (gray-node detection). The returned slice is in deterministic DFS
+// discovery order — PathBounds' loop terms and the trip-count engine's
+// bounds are index-aligned through it — and the set holds the same refs
+// for membership tests. Edges to unreachable blocks never execute and
+// are not classified.
+func (c *CFG) backEdges() ([]edgeRef, map[edgeRef]bool) {
+	var refs []edgeRef
 	isBack := make(map[edgeRef]bool)
-	color := make([]uint8, nb) // 0 white, 1 gray, 2 black
+	if len(c.Blocks) == 0 {
+		return refs, isBack
+	}
+	color := make([]uint8, len(c.Blocks)) // 0 white, 1 gray, 2 black
 	var dfs func(id int)
 	dfs = func(id int) {
 		color[id] = 1
-		for i, e := range cfg.Blocks[id].Succs {
+		for i, e := range c.Blocks[id].Succs {
 			if e.To == ExitID {
 				continue
 			}
@@ -237,13 +239,26 @@ func (b *Bounds) PathBounds(m *core.MacroModel) (*PathReport, error) {
 			case 1:
 				ref := edgeRef{id, i}
 				isBack[ref] = true
-				backEdges = append(backEdges, ref)
+				refs = append(refs, ref)
 			}
 		}
 		color[id] = 2
 	}
+	dfs(c.Entry().ID)
+	return refs, isBack
+}
+
+// PathBounds computes the acyclic entry→exit energy interval and the
+// per-back-edge symbolic loop terms under the model. It fails when no
+// back-edge-free path from the entry reaches the exit (the program
+// cannot halt without iterating, so no finite acyclic bound exists).
+func (b *Bounds) PathBounds(m *core.MacroModel) (*PathReport, error) {
+	cfg := b.CFG
+	nb := len(cfg.Blocks)
+	blockE := b.BlockEnergy(m)
+
+	backEdges, isBack := cfg.backEdges()
 	entry := cfg.Entry().ID
-	dfs(entry)
 
 	// Topological order of the DAG that remains (reachable blocks only).
 	var topo []int

@@ -1,0 +1,106 @@
+package xlint
+
+// WCEC/BCEC: concrete static energy bounds. PathBounds expresses every
+// halting execution's energy as Acyclic + Σ k_i·PerIter_i with symbolic
+// per-back-edge traversal counts k_i; the abstract interpreter's trip
+// bounds close the formula. The result brackets the measured energy of
+// every input: BCEC ≤ measured ≤ WCEC whenever both ends are finite.
+
+import (
+	"math"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/procgen"
+)
+
+// WCECTerm is one back edge's concrete contribution: the symbolic
+// per-iteration energy interval from PathBounds paired with the inferred
+// traversal bounds.
+type WCECTerm struct {
+	// FromPC/HeaderPC identify the back edge (LoopTerm's naming).
+	FromPC, HeaderPC int
+	// PerIter is the energy added per traversal (extremal acyclic
+	// header→latch path).
+	PerIter Interval
+	// TripLo/TripHi bound the traversals over a whole invocation; TripHi
+	// is +Inf when the trip-count engine found no pattern.
+	TripLo, TripHi float64
+	// Source names the trip inference (Trip.Source).
+	Source string
+}
+
+// WCECReport is the concrete static energy bound of one program under
+// one model.
+type WCECReport struct {
+	// Acyclic is the loop-free entry→exit energy interval.
+	Acyclic Interval
+	// Terms holds one entry per CFG back edge, aligned with
+	// PathBounds' Loops.
+	Terms []WCECTerm
+	// BCEC/WCEC are the closed-form best/worst-case energy bounds.
+	// WCEC is +Inf (and Bounded false) when any traversed loop is
+	// unbounded.
+	BCEC, WCEC float64
+	// Bounded reports that both bounds are finite.
+	Bounded bool
+}
+
+// ComputeWCEC instantiates the program's symbolic path bounds with
+// abstract-interpretation trip counts. abs may be nil, in which case the
+// interpreter runs here.
+func ComputeWCEC(cfg *CFG, abs *AbsResult, proc *procgen.Processor, m *core.MacroModel) (*WCECReport, error) {
+	b, err := ComputeBounds(cfg, proc)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := b.PathBounds(m)
+	if err != nil {
+		return nil, err
+	}
+	if abs == nil {
+		abs = cfg.Interpret(proc)
+	}
+	trips := inferTrips(cfg, abs)
+
+	rep := &WCECReport{Acyclic: pb.Acyclic, BCEC: pb.Acyclic.Lo, WCEC: pb.Acyclic.Hi}
+	for i, lt := range pb.Loops {
+		t := trips[i]
+		term := WCECTerm{
+			FromPC:   lt.FromPC,
+			HeaderPC: lt.HeaderPC,
+			PerIter:  lt.PerIter,
+			TripLo:   t.Lo,
+			TripHi:   t.Hi,
+			Source:   t.Source,
+		}
+		rep.Terms = append(rep.Terms, term)
+		rep.WCEC += maxContrib(lt.PerIter, t)
+		rep.BCEC += minContrib(lt.PerIter, t)
+	}
+	rep.Bounded = !math.IsInf(rep.WCEC, 0) && !math.IsInf(rep.BCEC, 0)
+	return rep, nil
+}
+
+// maxContrib maximizes k·e over k ∈ [t.Lo, t.Hi], e ∈ PerIter. A zero
+// trip bound contributes nothing even when PerIter is degenerate (an
+// unreachable loop body yields an infinite empty interval).
+func maxContrib(per Interval, t Trip) float64 {
+	if t.Hi == 0 {
+		return 0
+	}
+	if per.Hi > 0 {
+		return t.Hi * per.Hi
+	}
+	return t.Lo * per.Hi
+}
+
+// minContrib minimizes k·e over the same box.
+func minContrib(per Interval, t Trip) float64 {
+	if t.Hi == 0 {
+		return 0
+	}
+	if per.Lo >= 0 {
+		return t.Lo * per.Lo
+	}
+	return t.Hi * per.Lo
+}

@@ -80,8 +80,46 @@ type Report struct {
 	Prog     *iss.Program
 	CFG      *CFG
 	Findings []Finding
+	// Abs is the converged abstract-interpretation result the value
+	// analysis ran on — kept so downstream consumers (trip counts, WCEC,
+	// soundness oracles) reuse the fixpoint instead of recomputing it.
+	Abs *AbsResult
 
 	disabled map[string]bool
+}
+
+// knownCodes enumerates every finding code any analysis can emit, in
+// documentation order. New analyses must register their codes here:
+// Disable validation (cmd/xlint -disable) rejects anything else.
+var knownCodes = []string{
+	"uninit-read", "dead-write", "unreachable", "interlock",
+	"reg-range", "tie-undefined", "tie-operand", "loop-option",
+	"mul-option", "invalid-target",
+	"absint-dead-edge", "absint-zero-trip", "absint-loop-forever",
+	"absint-mem-range",
+}
+
+// KnownCodes returns every finding code the analyzer can emit.
+func KnownCodes() []string {
+	out := make([]string, len(knownCodes))
+	copy(out, knownCodes)
+	return out
+}
+
+// ValidateCodes rejects finding codes the analyzer does not emit — the
+// guard behind cmd/xlint -disable, so a typo suppresses nothing
+// silently.
+func ValidateCodes(codes []string) error {
+	known := make(map[string]bool, len(knownCodes))
+	for _, c := range knownCodes {
+		known[c] = true
+	}
+	for _, c := range codes {
+		if !known[c] {
+			return fmt.Errorf("unknown finding code %q (valid: %s)", c, strings.Join(knownCodes, ", "))
+		}
+	}
+	return nil
 }
 
 // Option configures one Analyze run.
@@ -180,6 +218,7 @@ func Analyze(prog *iss.Program, proc *procgen.Processor, opts ...Option) *Report
 	analyzeDeadWrites(r, proc)
 	analyzeUnreachable(r)
 	analyzeInterlocks(r, proc)
+	analyzeValues(r, proc)
 	sort.SliceStable(r.Findings, func(i, j int) bool {
 		return r.Findings[i].PC < r.Findings[j].PC
 	})
