@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"xtenergy/internal/core"
 	"xtenergy/internal/experiments"
@@ -34,18 +37,24 @@ func main() {
 	save := flag.String("save", "", "write the characterized model to this JSON file")
 	timeout := flag.Duration("timeout", 0, "per-workload reference-measurement deadline (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts for transiently-failing workloads")
+	backoff := flag.Duration("backoff", 0, "base delay between retry attempts, growing exponentially (0 = 100ms default, negative = retry immediately)")
 	partial := flag.Bool("partial", false, "drop failed workloads and fit on the survivors (degraded runs exit 1)")
 	jobs := flag.Int("j", 0, "concurrent workload measurements (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	suite := experiments.Default()
 	if *fast {
 		suite = experiments.Fast()
 	}
+	suite.Ctx = ctx
 	suite.Regress.Ridge = *ridge
 	suite.Regress.NonNegative = *nonneg
 	suite.Timeout = *timeout
 	suite.Retries = *retries
+	suite.Backoff = *backoff
 	suite.Partial = *partial
 	suite.Parallelism = *jobs
 

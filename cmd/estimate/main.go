@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"xtenergy/internal/core"
@@ -54,6 +56,7 @@ func run() (degraded bool, err error) {
 	breakdown := flag.Bool("breakdown", false, "print the estimate's per-term decomposition")
 	timeout := flag.Duration("timeout", 0, "per-workload characterization deadline (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts for transiently-failing characterization workloads")
+	backoff := flag.Duration("backoff", 0, "base delay between retry attempts, growing exponentially (0 = 100ms default, negative = retry immediately)")
 	partial := flag.Bool("partial", false, "characterize on the surviving workloads when some fail (degraded runs exit 1)")
 	flag.Parse()
 
@@ -75,12 +78,17 @@ func run() (degraded bool, err error) {
 		return false, fmt.Errorf("unknown workload %q (try -list)", *name)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	suite := experiments.Default()
 	if *fast {
 		suite = experiments.Fast()
 	}
+	suite.Ctx = ctx
 	suite.Timeout = *timeout
 	suite.Retries = *retries
+	suite.Backoff = *backoff
 	suite.Partial = *partial
 	var model *core.MacroModel
 	if *modelPath != "" {
@@ -120,7 +128,7 @@ func run() (degraded bool, err error) {
 
 	if *withRef {
 		start = time.Now()
-		ref, err := core.ReferenceEnergy(context.Background(), suite.Config, suite.Tech, w)
+		ref, err := core.ReferenceEnergy(ctx, suite.Config, suite.Tech, w)
 		if err != nil {
 			return degraded, err
 		}

@@ -15,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"xtenergy/internal/experiments"
 )
@@ -30,10 +33,14 @@ func main() {
 	jobs := flag.Int("j", 0, "concurrent workload measurements (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	suite := experiments.Default()
 	if *fast {
 		suite = experiments.Fast()
 	}
+	suite.Ctx = ctx
 	suite.Parallelism = *jobs
 
 	which := flag.Args()

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"xtenergy/internal/core"
 	"xtenergy/internal/experiments"
@@ -38,6 +40,9 @@ func run() error {
 	fast := flag.Bool("fast", false, "use the reduced-resolution reference model for characterization")
 	modelPath := flag.String("model", "", "load a characterized model instead of re-characterizing")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	tech := rtlpower.DefaultTechnology()
 	if *fast {
@@ -61,7 +66,7 @@ func run() error {
 	} else {
 		for _, cfg := range configs {
 			fmt.Printf("characterizing %s...\n", cfg.Name)
-			cr, err := core.Characterize(context.Background(), cfg, tech, workloads.CharacterizationSuite(), core.Options{})
+			cr, err := core.Characterize(ctx, cfg, tech, workloads.CharacterizationSuite(), core.Options{})
 			if err != nil {
 				return err
 			}

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"xtenergy/internal/analyzers"
 )
@@ -33,8 +36,11 @@ func run() int {
 		return 0
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	patterns := flag.Args()
-	pkgs, err := analyzers.Load(".", patterns...)
+	pkgs, err := analyzers.LoadContext(ctx, ".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2

@@ -15,20 +15,30 @@
 // Exit status: 0 when the program is clean (notes do not count), 1 when
 // any warning- or error-severity finding is reported, 2 on usage or
 // internal errors.
+//
+// The default text mode renders through xpowerd.LintReport, the same
+// entry point the xpowerd daemon serves, so `xlint -remote <addr>`
+// output is byte-identical to a local run (-remote supports the default
+// text mode only).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"xtenergy/internal/core"
 	"xtenergy/internal/procgen"
 	"xtenergy/internal/workloads"
 	"xtenergy/internal/xlint"
+	"xtenergy/internal/xpowerd"
 )
 
 func main() {
@@ -48,6 +58,7 @@ func run() (int, error) {
 	modelPath := flag.String("model", "", "fitted macro-model JSON for -energy-bounds (default: unit coefficients)")
 	notes := flag.Bool("notes", false, "also print note-severity findings")
 	disable := flag.String("disable", "", "comma-separated finding codes to suppress")
+	remote := flag.String("remote", "", "send the request to a running xpowerd at this address (host:port or unix:<path>; default text mode only)")
 	flag.Parse()
 
 	if *list {
@@ -61,23 +72,71 @@ func run() (int, error) {
 		return 0, nil
 	}
 
-	var w core.Workload
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var disabled []string
+	if *disable != "" {
+		disabled = strings.Split(*disable, ",")
+	}
+
+	var wlName, source, sourceName string
 	switch {
 	case *name != "":
-		found := false
-		w, found = workloads.ByName(*name)
-		if !found {
-			return 2, fmt.Errorf("unknown workload %q (try -list)", *name)
-		}
+		wlName = *name
 	case flag.NArg() == 1:
 		src, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
 			return 2, err
 		}
-		w = core.Workload{Name: flag.Arg(0), Source: string(src)}
+		source, sourceName = string(src), flag.Arg(0)
 	default:
 		flag.Usage()
 		return 2, fmt.Errorf("need -list, -w <name>, or an assembly file")
+	}
+
+	if *remote != "" {
+		if *asJSON || *energy || *wcec {
+			return 2, fmt.Errorf("-remote supports the default text mode only")
+		}
+		client, err := xpowerd.Dial(*remote, 5*time.Second)
+		if err != nil {
+			return 2, err
+		}
+		defer client.Close()
+		resp, err := client.Do(ctx, &xpowerd.Request{
+			Op: xpowerd.OpLint, Workload: wlName, Source: source, SourceName: sourceName,
+			Notes: *notes, Disable: disabled,
+		})
+		if err != nil {
+			return 2, err
+		}
+		fmt.Print(resp.Output)
+		return resp.Status, nil
+	}
+
+	// The plain text mode renders through the daemon-shared entry
+	// point; the json/energy/wcec modes keep their richer local flow.
+	if !*asJSON && !*energy && !*wcec {
+		text, status, err := xpowerd.LintReport(ctx, xpowerd.LintParams{
+			Workload: wlName, Source: source, SourceName: sourceName, Notes: *notes, Disable: disabled,
+		})
+		if err != nil {
+			return 2, err
+		}
+		fmt.Print(text)
+		return status, nil
+	}
+
+	var w core.Workload
+	if wlName != "" {
+		var found bool
+		w, found = workloads.ByName(wlName)
+		if !found {
+			return 2, fmt.Errorf("unknown workload %q (try -list)", wlName)
+		}
+	} else {
+		w = core.Workload{Name: sourceName, Source: source}
 	}
 
 	proc, prog, err := w.Build(procgen.Default())
@@ -86,12 +145,11 @@ func run() (int, error) {
 	}
 
 	var opts []xlint.Option
-	if *disable != "" {
-		codes := strings.Split(*disable, ",")
-		if err := xlint.ValidateCodes(codes); err != nil {
+	if len(disabled) > 0 {
+		if err := xlint.ValidateCodes(disabled); err != nil {
 			return 2, err
 		}
-		opts = append(opts, xlint.Disable(codes...))
+		opts = append(opts, xlint.Disable(disabled...))
 	}
 	rep := xlint.Analyze(prog, proc, opts...)
 
@@ -112,22 +170,11 @@ func run() (int, error) {
 	if *energy {
 		return status, reportEnergy(rep, proc, *modelPath, *asJSON, shown)
 	}
-
-	if *asJSON {
-		return status, writeJSON(map[string]any{
-			"program":  prog.Name,
-			"findings": jsonFindings(shown),
-			"clean":    status == 0,
-		})
-	}
-	for _, f := range shown {
-		fmt.Printf("%s:%s\n", prog.Name, f)
-	}
-	if status == 0 {
-		fmt.Printf("%s: clean (%d instructions, %d blocks)\n",
-			prog.Name, len(prog.Code), len(rep.CFG.Blocks))
-	}
-	return status, nil
+	return status, writeJSON(map[string]any{
+		"program":  prog.Name,
+		"findings": jsonFindings(shown),
+		"clean":    status == 0,
+	})
 }
 
 // loadModel returns the fitted model at path, or the unit model (every

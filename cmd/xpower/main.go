@@ -3,9 +3,15 @@
 // the slow, accurate view of where an extended processor's energy goes,
 // including the base-core vs custom-hardware split.
 //
+// The report is rendered by xpowerd.EstimateReport, the same entry
+// point the xpowerd daemon serves, so `xpower -remote <addr>` output is
+// byte-identical to a local run. Ctrl-C / SIGTERM cancels the streamed
+// pipeline through its context.
+//
 // Usage:
 //
-//	xpower [-fast] [-j shards] -w <workload>
+//	xpower [-fast] [-j shards] [-profile window] -w <workload>
+//	xpower -remote host:port|unix:<path> -w <workload>
 //	xpower -list
 package main
 
@@ -14,12 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
-	"xtenergy/internal/core"
-	"xtenergy/internal/iss"
-	"xtenergy/internal/procgen"
-	"xtenergy/internal/rtlpower"
 	"xtenergy/internal/workloads"
+	"xtenergy/internal/xpowerd"
 )
 
 func main() {
@@ -29,91 +35,54 @@ func main() {
 	}
 }
 
-func candidates() []core.Workload {
-	return workloads.All()
-}
-
 func run() error {
 	fast := flag.Bool("fast", false, "use the reduced-resolution reference model")
 	name := flag.String("w", "", "workload to analyze")
 	list := flag.Bool("list", false, "list available workloads")
 	profile := flag.Uint64("profile", 0, "also print a power-vs-time profile with this window (cycles)")
 	jobs := flag.Int("j", 1, "net-simulation shards per chunk (>1 spreads the jump-ahead lane walks over goroutines; bit-identical)")
+	remote := flag.String("remote", "", "send the request to a running xpowerd at this address (host:port or unix:<path>)")
 	flag.Parse()
 
 	if *list {
-		for _, w := range candidates() {
+		for _, w := range workloads.All() {
 			fmt.Println(w.Name)
 		}
 		return nil
 	}
 
-	var w core.Workload
-	found := false
-	for _, cand := range candidates() {
-		if cand.Name == *name {
-			w, found = cand, true
-			break
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *remote != "" {
+		client, err := xpowerd.Dial(*remote, 5*time.Second)
+		if err != nil {
+			return err
 		}
-	}
-	if !found {
-		return fmt.Errorf("unknown workload %q (try -list)", *name)
+		defer client.Close()
+		resp, err := client.Do(ctx, &xpowerd.Request{
+			Op:            xpowerd.OpEstimate,
+			Workload:      *name,
+			Fast:          *fast,
+			Shards:        *jobs,
+			ProfileWindow: *profile,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(resp.Output)
+		return nil
 	}
 
-	cfg := procgen.Default()
-	tech := rtlpower.DefaultTechnology()
-	if *fast {
-		tech = rtlpower.FastTechnology()
-	}
-
-	proc, prog, err := w.Build(cfg)
+	text, err := xpowerd.EstimateReport(ctx, xpowerd.EstimateParams{
+		Workload:      *name,
+		Fast:          *fast,
+		Shards:        *jobs,
+		ProfileWindow: *profile,
+	})
 	if err != nil {
 		return err
 	}
-	est, err := rtlpower.New(proc, tech)
-	if err != nil {
-		return err
-	}
-
-	// One streamed pass: the ISS feeds retired-instruction batches to the
-	// incremental estimator through a bounded channel, so no trace is
-	// materialized no matter how long the workload runs. The power
-	// profile, when requested, hangs off the same pass.
-	st := est.Stream()
-	st.Shards = *jobs
-	var acc *rtlpower.ProfileAccumulator
-	if *profile > 0 {
-		acc = rtlpower.NewProfileAccumulator(*profile)
-		st.OnEntry = acc.OnEntry
-	}
-	res, err := rtlpower.RunStreamed(context.Background(), iss.New(proc), prog, iss.Options{}, st)
-	if err != nil {
-		return err
-	}
-	rep, err := st.Finish()
-	if err != nil {
-		return err
-	}
-
-	fmt.Printf("workload %s: %d instructions, %d cycles\n\n", w.Name, res.Stats.Retired, rep.Cycles)
-	rows, err := rep.Breakdown(proc)
-	if err != nil {
-		return err
-	}
-	fmt.Print(rtlpower.FormatBreakdown(rows, cfg.ClockMHz, rep.Cycles))
-
-	base, custom, err := rep.BaseCustomSplit(proc)
-	if err != nil {
-		return err
-	}
-	if custom > 0 {
-		fmt.Printf("\nbase core: %.3f uJ (%.1f%%), custom hardware: %.3f uJ (%.1f%%)\n",
-			base*1e-6, 100*base/rep.TotalPJ, custom*1e-6, 100*custom/rep.TotalPJ)
-	}
-
-	if acc != nil {
-		fmt.Println()
-		fmt.Print(rtlpower.FormatProfile(acc.Points(), cfg.ClockMHz))
-	}
+	fmt.Print(text)
 	return nil
 }

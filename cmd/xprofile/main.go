@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"xtenergy/internal/core"
 	"xtenergy/internal/experiments"
@@ -48,10 +51,14 @@ func run() error {
 		return fmt.Errorf("unknown workload %q (try -list)", *name)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	suite := experiments.Default()
 	if *fast {
 		suite = experiments.Fast()
 	}
+	suite.Ctx = ctx
 	var model *core.MacroModel
 	if *modelPath != "" {
 		m, err := core.LoadModel(*modelPath)
@@ -72,7 +79,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := iss.New(proc).Run(prog, iss.Options{CollectTrace: true})
+	res, err := iss.New(proc).RunContext(ctx, prog, iss.Options{CollectTrace: true})
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ package analyzers
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -47,11 +48,18 @@ type listEntry struct {
 // included — the invariants under analysis are production-code
 // properties.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadContext(context.Background(), dir, patterns...)
+}
+
+// LoadContext is Load bounded by ctx: cancellation kills the go tool
+// subprocess (the one long leg of a load) and aborts the type-check
+// between packages.
+func LoadContext(ctx context.Context, dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	args := append([]string{"list", "-e", "-json", "-export", "-deps"}, patterns...)
-	cmd := exec.Command("go", args...)
+	cmd := exec.CommandContext(ctx, "go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
@@ -88,6 +96,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	var out []*Package
 	for _, e := range targets {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("analyzers: load cancelled: %w", cerr)
+		}
 		fset := token.NewFileSet()
 		var files []*ast.File
 		for _, name := range e.GoFiles {

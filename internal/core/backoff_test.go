@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/rtlpower"
+)
+
+func transientMeasure(calls *atomic.Int64) MeasureFunc {
+	return func(ctx context.Context, cfg procgen.Config, tech rtlpower.Technology, w Workload) (Measurement, error) {
+		calls.Add(1)
+		return Measurement{}, &iss.Fault{
+			Kind: iss.FaultMeasurement, Prog: w.Name, PC: -1, Transient: true, Msg: "injected",
+		}
+	}
+}
+
+func TestRetryDelayShape(t *testing.T) {
+	// Exponential growth with a cap, scaled by jitter in [0.75, 1.25).
+	base := 100 * time.Millisecond
+	for attempt, wantBase := range []time.Duration{
+		base, 2 * base, 4 * base, 8 * base, 16 * base, 32 * base, 32 * base, 32 * base,
+	} {
+		d := retryDelay(base, "tp01", attempt)
+		lo := time.Duration(float64(wantBase) * 0.75)
+		hi := time.Duration(float64(wantBase) * 1.25)
+		if d < lo || d >= hi {
+			t.Errorf("retryDelay(attempt %d) = %v, want in [%v, %v)", attempt, d, lo, hi)
+		}
+	}
+	// Deterministic: same inputs, same delay (no shared RNG to race on).
+	if a, b := retryDelay(base, "tp01", 2), retryDelay(base, "tp01", 2); a != b {
+		t.Errorf("retryDelay not deterministic: %v vs %v", a, b)
+	}
+	// Jittered: different workloads should not retry in lockstep.
+	same := 0
+	names := []string{"tp01", "tp02", "tp03", "tp04", "tp05", "tp06"}
+	for _, n := range names[1:] {
+		if retryDelay(base, n, 1) == retryDelay(base, names[0], 1) {
+			same++
+		}
+	}
+	if same == len(names)-1 {
+		t.Error("every workload got an identical delay; jitter is not applied")
+	}
+	// Zero means the default base; negative disables the delay.
+	if d := retryDelay(0, "tp01", 0); d < 75*time.Millisecond || d >= 125*time.Millisecond {
+		t.Errorf("retryDelay(0) = %v, want ~%v", d, defaultRetryBackoff)
+	}
+	if d := retryDelay(-1, "tp01", 3); d != 0 {
+		t.Errorf("negative backoff must disable the delay, got %v", d)
+	}
+}
+
+func TestBackoffPacesRetries(t *testing.T) {
+	var calls atomic.Int64
+	w := Workload{Name: "flaky"}
+	start := time.Now()
+	_, attempts, err := measureWithRetry(context.Background(), procgen.Default(), rtlpower.FastTechnology(),
+		w, transientMeasure(&calls), Options{Retries: 2, Backoff: 30 * time.Millisecond})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("want the injected transient fault after exhausting retries")
+	}
+	if attempts != 3 || calls.Load() != 3 {
+		t.Fatalf("attempts = %d, calls = %d, want 3", attempts, calls.Load())
+	}
+	// Two backoffs: ~30ms + ~60ms, jittered down to at worst 0.75x.
+	if min := time.Duration(float64(90*time.Millisecond) * 0.75); elapsed < min {
+		t.Fatalf("retries took %v; backoff (>= %v) was not applied", elapsed, min)
+	}
+}
+
+func TestBackoffImmediateWhenDisabled(t *testing.T) {
+	var calls atomic.Int64
+	start := time.Now()
+	_, _, err := measureWithRetry(context.Background(), procgen.Default(), rtlpower.FastTechnology(),
+		Workload{Name: "flaky"}, transientMeasure(&calls), Options{Retries: 3, Backoff: -1})
+	if err == nil || calls.Load() != 4 {
+		t.Fatalf("err = %v, calls = %d", err, calls.Load())
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("disabled backoff still slept: %v", elapsed)
+	}
+}
+
+func TestBackoffSleepInterruptedByCancel(t *testing.T) {
+	var calls atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// A huge backoff: if cancellation did not interrupt the sleep, this
+	// test would sit for minutes.
+	_, attempts, err := measureWithRetry(ctx, procgen.Default(), rtlpower.FastTechnology(),
+		Workload{Name: "flaky"}, transientMeasure(&calls), Options{Retries: 5, Backoff: 5 * time.Minute})
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to interrupt the backoff sleep", elapsed)
+	}
+	f, ok := iss.AsFault(err)
+	if !ok || f.Kind != iss.FaultCancelled {
+		t.Fatalf("err = %v, want a cancelled fault", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fault must wrap context.Canceled, got %v", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (cancelled during the first backoff)", attempts)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"runtime"
 	"strings"
@@ -74,6 +75,13 @@ type Options struct {
 	// (memory faults, illegal instructions, watchdogs...) are
 	// deterministic and never retried.
 	Retries int
+	// Backoff is the base delay inserted before each transient-fault
+	// retry, growing exponentially per attempt (capped at 32x) with
+	// deterministic per-workload jitter so a pool of flaky legs does
+	// not retry in lockstep. 0 means the 100ms default; negative
+	// disables the delay (retry immediately). The sleep honors ctx:
+	// cancellation interrupts it.
+	Backoff time.Duration
 	// Measure overrides the reference measurement leg; nil means
 	// MeasureWorkload. This is the seam the internal/chaos harness
 	// injects failures through.
@@ -181,7 +189,8 @@ func measureOnce(ctx context.Context, cfg procgen.Config, tech rtlpower.Technolo
 
 // measureWithRetry drives one workload's attempts: transient faults
 // (flaky oracle, per-workload deadline) are retried up to opts.Retries
-// extra times; hard faults and parent cancellation stop immediately.
+// extra times, with exponential backoff between attempts; hard faults
+// and parent cancellation stop immediately.
 func measureWithRetry(ctx context.Context, cfg procgen.Config, tech rtlpower.Technology, w Workload, measure MeasureFunc, opts Options) (Measurement, int, error) {
 	attempts := 0
 	for attempt := 0; ; attempt++ {
@@ -205,6 +214,55 @@ func measureWithRetry(ctx context.Context, cfg procgen.Config, tech rtlpower.Tec
 		if !ok || !f.IsTransient() || attempt >= opts.Retries || ctx.Err() != nil {
 			return Measurement{}, attempts, err
 		}
+		if cerr := sleepBackoff(ctx, retryDelay(opts.Backoff, w.Name, attempt)); cerr != nil {
+			return Measurement{}, attempts, &iss.Fault{
+				Kind: iss.FaultCancelled, Prog: w.Name, PC: -1,
+				Msg: "characterization cancelled during retry backoff", Err: cerr,
+			}
+		}
+	}
+}
+
+// defaultRetryBackoff is the base retry delay when Options.Backoff is 0.
+const defaultRetryBackoff = 100 * time.Millisecond
+
+// retryDelay computes the pause before retry number attempt+1 (attempt
+// counts completed attempts, so the first retry sees attempt 0):
+// exponential in the attempt, capped at 32x the base, with ±25% jitter
+// derived deterministically from the workload name and attempt — no
+// shared RNG, so concurrent legs stay race-free and runs reproducible,
+// yet a pool of flaky legs never retries in lockstep.
+func retryDelay(base time.Duration, name string, attempt int) time.Duration {
+	if base < 0 {
+		return 0
+	}
+	if base == 0 {
+		base = defaultRetryBackoff
+	}
+	shift := attempt
+	if shift > 5 {
+		shift = 5
+	}
+	d := base << shift
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", name, attempt)
+	frac := float64(h.Sum64()%1024) / 1024 // [0, 1)
+	return time.Duration(float64(d) * (0.75 + 0.5*frac))
+}
+
+// sleepBackoff waits d, returning early with ctx.Err() on cancellation
+// (a cancelled characterization must not sit out its backoff).
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 

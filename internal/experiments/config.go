@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -61,7 +60,7 @@ func (s *Suite) ConfigSensitivity() (ConfigSensitivityResult, error) {
 	}
 
 	altCfg := AltConfig()
-	altCR, err := core.Characterize(context.Background(), altCfg, s.Tech, workloads.CharacterizationSuite(), core.Options{Regress: s.Regress})
+	altCR, err := core.Characterize(s.context(), altCfg, s.Tech, workloads.CharacterizationSuite(), core.Options{Regress: s.Regress})
 	if err != nil {
 		return ConfigSensitivityResult{}, fmt.Errorf("experiments: alt characterization: %w", err)
 	}
@@ -92,7 +91,7 @@ func (s *Suite) ConfigSensitivity() (ConfigSensitivityResult, error) {
 		if err != nil {
 			return res, err
 		}
-		ref, err := core.ReferenceEnergy(context.Background(), altCfg, s.Tech, w)
+		ref, err := core.ReferenceEnergy(s.context(), altCfg, s.Tech, w)
 		if err != nil {
 			return res, err
 		}

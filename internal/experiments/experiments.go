@@ -37,12 +37,19 @@ type Suite struct {
 	Tech    rtlpower.Technology
 	Regress regress.Options
 
+	// Ctx, when non-nil, bounds every reference measurement the suite
+	// runs (the CLIs pass their signal-cancelled context so ^C / SIGTERM
+	// interrupts a long characterization instead of being ignored).
+	Ctx context.Context
+
 	// Fault-tolerance knobs, forwarded to core.Characterize: Partial
 	// drops failed workloads instead of aborting, Timeout bounds each
-	// workload's reference leg, Retries re-runs transient failures.
+	// workload's reference leg, Retries re-runs transient failures,
+	// Backoff paces those retries (0 = default, negative = immediate).
 	Partial bool
 	Timeout time.Duration
 	Retries int
+	Backoff time.Duration
 
 	// Parallelism bounds concurrent workload legs in characterization;
 	// 0 means runtime.GOMAXPROCS(0).
@@ -50,6 +57,14 @@ type Suite struct {
 
 	charResult *core.CharacterizationResult
 	appObs     []appObservation
+}
+
+// context returns the suite's run context (Background when unset).
+func (s *Suite) context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // charOpts assembles the core characterization options from the
@@ -60,6 +75,7 @@ func (s *Suite) charOpts() core.Options {
 		Partial:     s.Partial,
 		Timeout:     s.Timeout,
 		Retries:     s.Retries,
+		Backoff:     s.Backoff,
 		Parallelism: s.Parallelism,
 	}
 }
@@ -82,7 +98,7 @@ func (s *Suite) Characterization() (*core.CharacterizationResult, error) {
 	if s.charResult != nil {
 		return s.charResult, nil
 	}
-	res, err := core.Characterize(context.Background(), s.Config, s.Tech, workloads.CharacterizationSuite(), s.charOpts())
+	res, err := core.Characterize(s.context(), s.Config, s.Tech, workloads.CharacterizationSuite(), s.charOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +273,7 @@ func (s *Suite) compareApps(cr *core.CharacterizationResult, apps []core.Workloa
 				errs[i] = err
 				return
 			}
-			ref, err := core.ReferenceEnergy(context.Background(), s.Config, s.Tech, w)
+			ref, err := core.ReferenceEnergy(s.context(), s.Config, s.Tech, w)
 			if err != nil {
 				errs[i] = err
 				return
@@ -339,7 +355,7 @@ func (s *Suite) Fig4() ([]Fig4Point, error) {
 		if err != nil {
 			return nil, err
 		}
-		ref, err := core.ReferenceEnergy(context.Background(), s.Config, s.Tech, w)
+		ref, err := core.ReferenceEnergy(s.context(), s.Config, s.Tech, w)
 		if err != nil {
 			return nil, err
 		}
@@ -423,7 +439,7 @@ func (s *Suite) Speedup() (SpeedupResult, error) {
 
 	start = time.Now()
 	for _, w := range apps {
-		if _, err := core.ReferenceEnergy(context.Background(), s.Config, refTech, w); err != nil {
+		if _, err := core.ReferenceEnergy(s.context(), s.Config, refTech, w); err != nil {
 			return SpeedupResult{}, err
 		}
 	}

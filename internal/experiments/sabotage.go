@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -84,9 +83,10 @@ func (s *Suite) Sabotage() (SabotageResult, error) {
 		Partial: true,
 		Timeout: 5 * time.Second,
 		Retries: 1,
+		Backoff: s.Backoff,
 		Measure: plan.Measure(),
 	}
-	partialCR, err := core.Characterize(context.Background(), s.Config, s.Tech, progs, opts)
+	partialCR, err := core.Characterize(s.context(), s.Config, s.Tech, progs, opts)
 	if err != nil {
 		return SabotageResult{}, fmt.Errorf("experiments: sabotaged characterization: %w", err)
 	}

@@ -1,0 +1,79 @@
+package xpowerd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// Client is one connection to a running daemon, used by the CLIs'
+// -remote mode. It is not safe for concurrent use; open one client per
+// goroutine (the daemon multiplexes across connections, not within
+// one).
+type Client struct {
+	conn net.Conn
+	max  uint32
+}
+
+// Dial connects to a daemon. addr is either "unix:<path>" or a TCP
+// host:port.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	network, target := "tcp", addr
+	if p, ok := strings.CutPrefix(addr, "unix:"); ok {
+		network, target = "unix", p
+	}
+	conn, err := net.DialTimeout(network, target, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("xpowerd: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, max: DefaultMaxFrame}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and reads its response, honoring ctx's deadline
+// and cancellation through the connection deadline. A response with a
+// wire error returns it as the call's error (alongside the response,
+// whose Status is preserved for exit-code mapping).
+func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+	deadline := time.Time{}
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	c.conn.SetDeadline(deadline)
+	// Cancellation (not just deadline expiry) must unblock a client
+	// parked in a read: force the deadline on ctx cancel, and make the
+	// watcher's exit synchronous so it never outlives the call.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.conn.SetDeadline(time.Now())
+		case <-watchDone:
+		}
+	}()
+
+	if err := WriteFrame(c.conn, req); err != nil {
+		return nil, fmt.Errorf("xpowerd: send: %w", err)
+	}
+	payload, err := ReadFrame(c.conn, c.max)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("xpowerd: receive: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return nil, fmt.Errorf("xpowerd: undecodable response: %w", err)
+	}
+	if resp.Error != nil {
+		return &resp, resp.Error
+	}
+	return &resp, nil
+}

@@ -1,0 +1,55 @@
+package xpowerd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary byte streams at the frame decoder with
+// a small cap. Whatever the peer sends, the decoder must return the
+// payload or a typed error — never panic, and never hand back more
+// bytes than the declared cap (the allocation bound: the payload buffer
+// is sized from the validated header).
+func FuzzReadFrame(f *testing.F) {
+	header := func(n uint32) []byte {
+		var h [4]byte
+		binary.BigEndian.PutUint32(h[:], n)
+		return h[:]
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add(header(0))
+	f.Add(header(1 << 30))
+	f.Add(append(header(5), []byte(`{"op"`)...))
+	f.Add(append(header(2), []byte(`{}extra`)...))
+	good := append(header(9), []byte(`{"op":"x"}`)...)
+	f.Add(good)
+
+	const cap = 256
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := ReadFrame(bytes.NewReader(data), cap)
+		if err != nil {
+			if payload != nil {
+				t.Fatalf("error %v must not also return a payload", err)
+			}
+			switch {
+			case errors.Is(err, ErrFrameTooLarge),
+				errors.Is(err, ErrFrameEmpty),
+				errors.Is(err, ErrFrameTruncated),
+				errors.Is(err, io.EOF):
+			default:
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if len(payload) == 0 || len(payload) > cap {
+			t.Fatalf("payload of %d bytes escaped the (0, %d] bound", len(payload), cap)
+		}
+		if uint32(len(payload)) != binary.BigEndian.Uint32(data[:4]) {
+			t.Fatalf("payload length %d disagrees with header", len(payload))
+		}
+	})
+}

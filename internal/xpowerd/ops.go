@@ -1,0 +1,262 @@
+package xpowerd
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/rtlpower"
+	"xtenergy/internal/workloads"
+	"xtenergy/internal/xlint"
+)
+
+// This file holds the work-op entry points. The one-shot CLIs render
+// through the same functions (cmd/xpower calls EstimateReport, the
+// plain-text path of cmd/xlint calls LintReport), so a remote response
+// is byte-identical to the one-shot tool's stdout by construction, not
+// by parallel maintenance of two formatters.
+
+// InvalidRequestError marks a request the daemon can never serve —
+// unknown workload, missing program, bad lint codes. The session layer
+// maps it to ErrCodeInvalid; retrying is pointless.
+type InvalidRequestError struct{ Msg string }
+
+func (e *InvalidRequestError) Error() string { return e.Msg }
+
+func invalidf(format string, args ...any) error {
+	return &InvalidRequestError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// resolveWorkload picks the program: a registry name, or inline XT32
+// assembly (base ISA) when allowed, labeled sourceName ("inline" when
+// empty — the CLIs pass the file path so findings keep their familiar
+// prefix).
+func resolveWorkload(name, source, sourceName string, allowSource bool) (core.Workload, error) {
+	switch {
+	case name != "" && source != "":
+		return core.Workload{}, invalidf("workload and source are mutually exclusive")
+	case name != "":
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return core.Workload{}, invalidf("unknown workload %q (try -list)", name)
+		}
+		return w, nil
+	case source != "":
+		if !allowSource {
+			return core.Workload{}, invalidf("this op requires a registry workload, not inline source")
+		}
+		if sourceName == "" {
+			sourceName = "inline"
+		}
+		return core.Workload{Name: sourceName, Source: source}, nil
+	default:
+		return core.Workload{}, invalidf("request names no workload")
+	}
+}
+
+// cancelled wraps a context end into the typed fault taxonomy so wire
+// errors carry the same kinds local callers see.
+func cancelled(prog, what string, cerr error) error {
+	return &iss.Fault{Kind: iss.FaultCancelled, Prog: prog, PC: -1, Msg: what + " cancelled", Err: cerr}
+}
+
+// EstimateParams selects one reference power estimation (the xpower
+// path: RTL-level streamed estimator over the named workload).
+type EstimateParams struct {
+	// Workload is the registry workload to estimate.
+	Workload string
+	// Fast selects the reduced-resolution reference technology.
+	Fast bool
+	// Shards is StreamEstimator.Shards; 0 means 1 (sequential).
+	Shards int
+	// ProfileWindow, when nonzero, appends the power-vs-time profile
+	// with that window in cycles.
+	ProfileWindow uint64
+}
+
+// EstimateReport runs one streamed reference estimation and renders the
+// exact report `xpower [-fast] [-j] [-profile]` prints for the same
+// inputs. Cancelling ctx aborts at the next batch boundary with a typed
+// cancelled fault.
+func EstimateReport(ctx context.Context, p EstimateParams) (string, error) {
+	w, err := resolveWorkload(p.Workload, "", "", false)
+	if err != nil {
+		return "", err
+	}
+
+	cfg := procgen.Default()
+	tech := rtlpower.DefaultTechnology()
+	if p.Fast {
+		tech = rtlpower.FastTechnology()
+	}
+
+	proc, prog, err := w.Build(cfg)
+	if err != nil {
+		return "", err
+	}
+	est, err := rtlpower.New(proc, tech)
+	if err != nil {
+		return "", err
+	}
+
+	// One streamed pass, exactly as cmd/xpower: the ISS feeds
+	// retired-instruction batches to the incremental estimator through
+	// a bounded channel; the profile, when requested, hangs off the
+	// same pass.
+	st := est.Stream()
+	st.Shards = p.Shards
+	if st.Shards == 0 {
+		st.Shards = 1
+	}
+	var acc *rtlpower.ProfileAccumulator
+	if p.ProfileWindow > 0 {
+		acc = rtlpower.NewProfileAccumulator(p.ProfileWindow)
+		st.OnEntry = acc.OnEntry
+	}
+	res, err := rtlpower.RunStreamed(ctx, iss.New(proc), prog, iss.Options{}, st)
+	if err != nil {
+		return "", err
+	}
+	rep, err := st.Finish()
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s: %d instructions, %d cycles\n\n", w.Name, res.Stats.Retired, rep.Cycles)
+	rows, err := rep.Breakdown(proc)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(rtlpower.FormatBreakdown(rows, cfg.ClockMHz, rep.Cycles))
+
+	base, custom, err := rep.BaseCustomSplit(proc)
+	if err != nil {
+		return "", err
+	}
+	if custom > 0 {
+		fmt.Fprintf(&b, "\nbase core: %.3f uJ (%.1f%%), custom hardware: %.3f uJ (%.1f%%)\n",
+			base*1e-6, 100*base/rep.TotalPJ, custom*1e-6, 100*custom/rep.TotalPJ)
+	}
+
+	if acc != nil {
+		b.WriteString("\n")
+		b.WriteString(rtlpower.FormatProfile(acc.Points(), cfg.ClockMHz))
+	}
+	return b.String(), nil
+}
+
+// SimulateParams selects one ISS run (the xsim path: execution
+// statistics, no power estimation).
+type SimulateParams struct {
+	// Workload is a registry name; Source is inline XT32 assembly
+	// (base ISA) labeled SourceName. Exactly one of Workload/Source
+	// must be set.
+	Workload   string
+	Source     string
+	SourceName string
+	// Vars appends the nonzero macro-model variables.
+	Vars bool
+}
+
+// SimulateReport runs the ISS and renders the report `xsim [-vars]`
+// prints for the same program.
+func SimulateReport(ctx context.Context, p SimulateParams) (string, error) {
+	w, err := resolveWorkload(p.Workload, p.Source, p.SourceName, true)
+	if err != nil {
+		return "", err
+	}
+	proc, prog, err := w.Build(procgen.Default())
+	if err != nil {
+		return "", err
+	}
+	res, err := iss.New(proc).RunContext(ctx, prog, iss.Options{})
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s (%d instructions)\n", w.Name, len(prog.Code))
+	b.WriteString(res.Stats.String())
+	if p.Vars {
+		vars, err := core.Extract(proc.TIE, &res.Stats)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("macro-model variables:\n")
+		for i, v := range vars {
+			if v != 0 {
+				fmt.Fprintf(&b, "  %-20s %14.1f\n", core.VarName(i), v)
+			}
+		}
+	}
+	return b.String(), nil
+}
+
+// LintParams selects one static analysis (the xlint plain-text path).
+type LintParams struct {
+	// Workload is a registry name; Source is inline XT32 assembly
+	// (base ISA) labeled SourceName. Exactly one of Workload/Source
+	// must be set.
+	Workload   string
+	Source     string
+	SourceName string
+	// Notes includes note-severity findings.
+	Notes bool
+	// Disable suppresses the named finding codes (validated; unknown
+	// codes are an invalid request, mirroring `xlint -disable`).
+	Disable []string
+}
+
+// LintReport runs the static analyzer and renders exactly what
+// `xlint [-notes] [-disable]` prints in its default text mode, with the
+// same 0/1 status. The analyzer itself is not cancellable, so ctx is
+// honored at the phase boundaries (before assembling and before
+// analyzing) — both phases are bounded by program size, not input data.
+func LintReport(ctx context.Context, p LintParams) (string, int, error) {
+	w, err := resolveWorkload(p.Workload, p.Source, p.SourceName, true)
+	if err != nil {
+		return "", StatusFailed, err
+	}
+	var opts []xlint.Option
+	if len(p.Disable) > 0 {
+		if err := xlint.ValidateCodes(p.Disable); err != nil {
+			return "", StatusFailed, &InvalidRequestError{Msg: err.Error()}
+		}
+		opts = append(opts, xlint.Disable(p.Disable...))
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return "", StatusFailed, cancelled(w.Name, "lint", cerr)
+	}
+	proc, prog, err := w.Build(procgen.Default())
+	if err != nil {
+		return "", StatusFailed, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return "", StatusFailed, cancelled(w.Name, "lint", cerr)
+	}
+	rep := xlint.Analyze(prog, proc, opts...)
+
+	minSev := xlint.SevWarn
+	if p.Notes {
+		minSev = xlint.SevNote
+	}
+	shown := rep.Filter(minSev)
+	status := StatusOK
+	if rep.Count(xlint.SevWarn) > 0 {
+		status = StatusDegraded
+	}
+
+	var b strings.Builder
+	for _, f := range shown {
+		fmt.Fprintf(&b, "%s:%s\n", prog.Name, f)
+	}
+	if status == StatusOK {
+		fmt.Fprintf(&b, "%s: clean (%d instructions, %d blocks)\n",
+			prog.Name, len(prog.Code), len(rep.CFG.Blocks))
+	}
+	return b.String(), status, nil
+}

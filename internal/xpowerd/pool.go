@@ -1,0 +1,138 @@
+package xpowerd
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Admission failures. Both are load-shedding outcomes the session layer
+// maps to fast "unavailable" responses: the caller spent no pipeline
+// work and holds no pool resources.
+var (
+	// ErrUnavailable means the admission queue is full: the daemon is
+	// saturated and sheds this request instead of queueing unboundedly.
+	ErrUnavailable = errors.New("xpowerd: overloaded, admission queue full")
+	// ErrDraining means the pool has begun shutdown and admits no new
+	// work.
+	ErrDraining = errors.New("xpowerd: draining, not accepting work")
+)
+
+// poolJob is one admitted unit of work.
+type poolJob struct {
+	ctx  context.Context
+	fn   func(context.Context)
+	done chan struct{}
+}
+
+// Pool is the bounded worker pool behind the work ops: a fixed worker
+// count bounds concurrent pipeline runs, and an explicit fixed-depth
+// admission queue in front of it turns overload into an immediate
+// ErrUnavailable instead of an unbounded goroutine or queue pile-up.
+type Pool struct {
+	jobs    chan *poolJob
+	workers int
+
+	mu     sync.RWMutex // guards closed vs. in-flight submits
+	closed bool
+
+	wg     sync.WaitGroup
+	active atomic.Int64
+}
+
+// NewPool starts workers goroutines servicing an admission queue of
+// queueDepth pending jobs (workers <= 0 means GOMAXPROCS, queueDepth
+// < 0 means 0: no queueing beyond the workers themselves).
+func NewPool(workers, queueDepth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &Pool{jobs: make(chan *poolJob, queueDepth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		// A job whose session died while queued is completed without
+		// running: its submitter already returned, and its context is
+		// the only thing the work would have had to live under.
+		if j.ctx.Err() == nil {
+			p.active.Add(1)
+			p.runOne(j)
+			p.active.Add(-1)
+		}
+		close(j.done)
+	}
+}
+
+// runOne executes one job with panic containment: a poisoned request
+// must cost exactly one response, never a worker goroutine (which would
+// silently shrink the pool) and never the daemon. The session-layer
+// closure converts its own panics into typed faults first; this recover
+// is the backstop for panics escaping that closure itself.
+func (p *Pool) runOne(j *poolJob) {
+	defer func() { recover() }()
+	j.fn(j.ctx)
+}
+
+// Do admits fn and waits for it to finish. It fails fast with
+// ErrUnavailable when the admission queue is full and ErrDraining after
+// Close has begun, and returns ctx.Err() if ctx ends first (the worker
+// then skips or abandons the job on its own; fn must confine its
+// effects to memory the submitter only reads on a nil return).
+func (p *Pool) Do(ctx context.Context, fn func(context.Context)) error {
+	j := &poolJob{ctx: ctx, fn: fn, done: make(chan struct{})}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrDraining
+	}
+	select {
+	case p.jobs <- j:
+		p.mu.RUnlock()
+	default:
+		p.mu.RUnlock()
+		return ErrUnavailable
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops admission and waits for the workers to finish every job
+// already admitted (queued jobs whose contexts have ended are skipped,
+// so a force-cancelled drain converges quickly).
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// QueueDepth is the number of admitted jobs not yet picked up.
+func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+// QueueCap is the admission queue's capacity.
+func (p *Pool) QueueCap() int { return cap(p.jobs) }
+
+// Active is the number of jobs currently executing.
+func (p *Pool) Active() int { return int(p.active.Load()) }
+
+// Workers is the fixed worker count.
+func (p *Pool) Workers() int { return p.workers }

@@ -1,0 +1,146 @@
+package xpowerd
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// occupy parks one job in the pool and returns a release func plus a
+// channel that closes once the job is actually running on a worker.
+func occupy(t *testing.T, p *Pool) (release func(), running chan struct{}) {
+	t.Helper()
+	running = make(chan struct{})
+	gate := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.Do(context.Background(), func(context.Context) {
+			close(running)
+			<-gate
+		})
+	}()
+	select {
+	case <-running:
+	case <-time.After(5 * time.Second):
+		t.Fatal("held job never reached a worker")
+	}
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			close(gate)
+			if err := <-errc; err != nil {
+				t.Errorf("held job failed: %v", err)
+			}
+		}
+	}, running
+}
+
+func TestPoolShedsWhenQueueFull(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	release, _ := occupy(t, p) // worker busy
+	defer release()
+
+	// Fill the one queue slot with a job that will run after release.
+	queuedDone := make(chan error, 1)
+	queuedRan := make(chan struct{})
+	go func() {
+		queuedDone <- p.Do(context.Background(), func(context.Context) { close(queuedRan) })
+	}()
+	// Wait for it to occupy the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.QueueDepth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.QueueDepth() != 1 {
+		t.Fatalf("queue depth = %d, want 1", p.QueueDepth())
+	}
+
+	// Worker busy + queue full: admission must shed, not block.
+	start := time.Now()
+	err := p.Do(context.Background(), func(context.Context) { t.Error("shed job must not run") })
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Do on saturated pool = %v, want ErrUnavailable", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("shedding took %v; it must be immediate", d)
+	}
+
+	release()
+	if err := <-queuedDone; err != nil {
+		t.Fatalf("queued job failed: %v", err)
+	}
+	<-queuedRan
+}
+
+func TestPoolDrainingAfterClose(t *testing.T) {
+	p := NewPool(1, 4)
+	p.Close()
+	err := p.Do(context.Background(), func(context.Context) { t.Error("job must not run after Close") })
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("Do after Close = %v, want ErrDraining", err)
+	}
+	// Close is idempotent.
+	p.Close()
+}
+
+func TestPoolSkipsAbandonedQueuedJobs(t *testing.T) {
+	p := NewPool(1, 2)
+	defer p.Close()
+	release, _ := occupy(t, p)
+
+	// Queue a job, then cancel its context before a worker frees up.
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := make(chan struct{}, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.Do(ctx, func(context.Context) { ran <- struct{}{} })
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.QueueDepth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned Do = %v, want context.Canceled", err)
+	}
+
+	release()
+	// The worker must skip the abandoned job, not run it.
+	select {
+	case <-ran:
+		t.Fatal("worker ran a job whose caller had given up")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestPoolSurvivesPanickingJob(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	// The session layer recovers inside its closure; this exercises the
+	// pool's own backstop for jobs submitted without one.
+	if err := p.Do(context.Background(), func(context.Context) { panic("boom") }); err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	// The lone worker must still be alive to take the next job.
+	ran := false
+	if err := p.Do(context.Background(), func(context.Context) { ran = true }); err != nil {
+		t.Fatalf("Do after panic = %v", err)
+	}
+	if !ran {
+		t.Fatal("worker did not survive the panicking job")
+	}
+}
+
+func TestPoolDefaults(t *testing.T) {
+	p := NewPool(0, -1)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", p.Workers())
+	}
+	if p.QueueCap() != 0 {
+		t.Fatalf("QueueCap() = %d, want 0", p.QueueCap())
+	}
+}

@@ -1,0 +1,105 @@
+package xpowerd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"xtenergy/internal/iss"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := &Request{Op: OpLint, Workload: "gcd", Notes: true, Disable: []string{"dead-write"}}
+	if err := WriteFrame(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	resp := &Response{Status: StatusDegraded, Output: "findings\n"}
+	if err := WriteFrame(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+
+	payload, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(payload), `"op":"lint"`) {
+		t.Fatalf("first frame = %s", payload)
+	}
+	payload, err = ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(payload), `"status":1`) {
+		t.Fatalf("second frame = %s", payload)
+	}
+	if _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Fatalf("after last frame: want io.EOF, got %v", err)
+	}
+}
+
+func TestReadFrameTypedErrors(t *testing.T) {
+	header := func(n uint32) []byte {
+		var h [4]byte
+		binary.BigEndian.PutUint32(h[:], n)
+		return h[:]
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		max  uint32
+		want error
+	}{
+		{"oversized", header(1 << 30), 1 << 20, ErrFrameTooLarge},
+		{"barely over cap", header(65), 64, ErrFrameTooLarge},
+		{"empty", header(0), 0, ErrFrameEmpty},
+		{"truncated header", []byte{0, 0}, 0, ErrFrameTruncated},
+		{"truncated payload", append(header(10), 'x', 'y'), 0, ErrFrameTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadFrame(bytes.NewReader(tc.in), tc.max)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("ReadFrame(%x) = %v, want %v", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadFrameAtCap(t *testing.T) {
+	payload := bytes.Repeat([]byte{'a'}, 64)
+	var buf bytes.Buffer
+	var h [4]byte
+	binary.BigEndian.PutUint32(h[:], 64)
+	buf.Write(h[:])
+	buf.Write(payload)
+	got, err := ReadFrame(&buf, 64)
+	if err != nil {
+		t.Fatalf("a frame exactly at the cap must pass: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch")
+	}
+}
+
+func TestWireErrorPreservesFault(t *testing.T) {
+	f := &iss.Fault{Kind: iss.FaultMem, Prog: "gcd", PC: 12, Cycle: 99, Addr: 0xdeadbeef, Msg: "boom"}
+	we := wireError(ErrCodeInternal, f)
+	if we.Code != ErrCodeFault {
+		t.Fatalf("code = %q, want fault", we.Code)
+	}
+	if we.FaultKind != "mem-fault" || we.Prog != "gcd" || we.PC != 12 || we.Cycle != 99 || we.Addr != 0xdeadbeef {
+		t.Fatalf("fault site lost on the wire: %+v", we)
+	}
+	transient := &iss.Fault{Kind: iss.FaultMeasurement, PC: -1, Transient: true}
+	if we := wireError(ErrCodeInternal, transient); !we.Transient {
+		t.Fatal("transient flag lost on the wire")
+	}
+	plain := errors.New("plain")
+	if we := wireError(ErrCodeInternal, plain); we.Code != ErrCodeInternal || we.FaultKind != "" {
+		t.Fatalf("untyped error should stay %q: %+v", ErrCodeInternal, we)
+	}
+}
