@@ -10,7 +10,9 @@ import (
 	"strings"
 	"testing"
 
+	"xtenergy/internal/engine"
 	"xtenergy/internal/iss"
+	"xtenergy/internal/memo"
 	"xtenergy/internal/plan"
 	"xtenergy/internal/procgen"
 	"xtenergy/internal/rtlpower"
@@ -43,7 +45,7 @@ type benchFile struct {
 }
 
 // benchLanes lists the recorded benchmarks in print order.
-var benchLanes = []string{"iss_steps", "plan_build", "simulate_nets", "reference_streamed"}
+var benchLanes = []string{"iss_steps", "plan_build", "simulate_nets", "reference_streamed", "cached_path"}
 
 // checkTolerance is how much slower than its frozen baseline a lane's
 // ns/op may drift before `bench -check` fails the run. Wide enough for
@@ -137,6 +139,37 @@ func runBench(argv []string) error {
 			}
 			if _, err := st.Finish(); err != nil {
 				b.Fatal(err)
+			}
+		}
+	}))
+
+	// cached_path measures a warm artifact-store hit end to end: digest
+	// the canonical request, recall the artifact from the in-memory
+	// tier, decode, and render the report — microseconds against the
+	// cold reference_streamed lane above, which is what a miss costs.
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		return err
+	}
+	spec := engine.EstimateSpec{Workload: w, Config: procgen.Default(), Tech: rtlpower.FastTechnology()}
+	if _, _, err := eng.Estimate(context.Background(), spec); err != nil { // prime the store
+		return err
+	}
+	if err := setBenchtime("1s"); err != nil {
+		return err
+	}
+	current["cached_path"] = toEntry(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, out, err := eng.Estimate(context.Background(), spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out != memo.OutcomeMemHit {
+				b.Fatalf("warm request missed the store: %v", out)
+			}
+			if a.Render() == "" {
+				b.Fatal("empty report")
 			}
 		}
 	}))

@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	"xtenergy/internal/core"
+	"xtenergy/internal/engine"
 	"xtenergy/internal/experiments"
 	"xtenergy/internal/explore"
 	"xtenergy/internal/procgen"
@@ -66,7 +67,13 @@ func run() error {
 	} else {
 		for _, cfg := range configs {
 			fmt.Printf("characterizing %s...\n", cfg.Name)
-			cr, err := core.Characterize(ctx, cfg, tech, workloads.CharacterizationSuite(), core.Options{})
+			// Resolved through the content-addressed engine: a sweep
+			// re-run (or any other tool characterizing the same family)
+			// recalls the fitted model instead of re-simulating the
+			// 25-program suite.
+			cr, _, err := engine.Default().Characterize(ctx, engine.CharacterizeSpec{
+				Config: cfg, Tech: tech, Workloads: workloads.CharacterizationSuite(),
+			})
 			if err != nil {
 				return err
 			}

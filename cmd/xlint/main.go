@@ -59,6 +59,7 @@ func run() (int, error) {
 	notes := flag.Bool("notes", false, "also print note-severity findings")
 	disable := flag.String("disable", "", "comma-separated finding codes to suppress")
 	remote := flag.String("remote", "", "send the request to a running xpowerd at this address (host:port or unix:<path>; default text mode only)")
+	noCache := flag.Bool("no-cache", false, "bypass the content-addressed artifact cache (default text mode; the json/energy/wcec modes never cache)")
 	flag.Parse()
 
 	if *list {
@@ -106,7 +107,7 @@ func run() (int, error) {
 		defer client.Close()
 		resp, err := client.Do(ctx, &xpowerd.Request{
 			Op: xpowerd.OpLint, Workload: wlName, Source: source, SourceName: sourceName,
-			Notes: *notes, Disable: disabled,
+			Notes: *notes, Disable: disabled, NoCache: *noCache,
 		})
 		if err != nil {
 			return 2, err
@@ -119,7 +120,8 @@ func run() (int, error) {
 	// point; the json/energy/wcec modes keep their richer local flow.
 	if !*asJSON && !*energy && !*wcec {
 		text, status, err := xpowerd.LintReport(ctx, xpowerd.LintParams{
-			Workload: wlName, Source: source, SourceName: sourceName, Notes: *notes, Disable: disabled,
+			Workload: wlName, Source: source, SourceName: sourceName, Notes: *notes,
+			Disable: disabled, NoCache: *noCache,
 		})
 		if err != nil {
 			return 2, err

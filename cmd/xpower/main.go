@@ -42,6 +42,7 @@ func run() error {
 	profile := flag.Uint64("profile", 0, "also print a power-vs-time profile with this window (cycles)")
 	jobs := flag.Int("j", 1, "net-simulation shards per chunk (>1 spreads the jump-ahead lane walks over goroutines; bit-identical)")
 	remote := flag.String("remote", "", "send the request to a running xpowerd at this address (host:port or unix:<path>)")
+	noCache := flag.Bool("no-cache", false, "bypass the content-addressed artifact cache: always re-run the pipeline, read and write nothing")
 	flag.Parse()
 
 	if *list {
@@ -66,6 +67,7 @@ func run() error {
 			Fast:          *fast,
 			Shards:        *jobs,
 			ProfileWindow: *profile,
+			NoCache:       *noCache,
 		})
 		if err != nil {
 			return err
@@ -79,6 +81,7 @@ func run() error {
 		Fast:          *fast,
 		Shards:        *jobs,
 		ProfileWindow: *profile,
+		NoCache:       *noCache,
 	})
 	if err != nil {
 		return err

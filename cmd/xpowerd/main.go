@@ -7,6 +7,7 @@
 //
 //	xpowerd [-listen addr] [-unix path] [-workers n] [-queue n]
 //	        [-max-conns n] [-read-timeout d] [-write-timeout d] [-drain d]
+//	        [-memo-dir path|off]
 //
 // SIGINT/SIGTERM starts a graceful drain: the daemon stops accepting,
 // lets in-flight sessions finish under the -drain deadline, then
@@ -27,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"xtenergy/internal/engine"
 	"xtenergy/internal/xpowerd"
 )
 
@@ -39,6 +41,7 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 0, "per-frame read deadline (0 = 30s)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-response write deadline (0 = 30s)")
 	drain := flag.Duration("drain", 0, "graceful-drain deadline on SIGTERM (0 = 15s)")
+	memoDir := flag.String("memo-dir", "", "artifact-cache directory (empty = $XTENERGY_MEMO_DIR or the user cache dir; \"off\" = memory-only)")
 	quiet := flag.Bool("quiet", false, "suppress operational logging")
 	flag.Parse()
 
@@ -46,6 +49,18 @@ func main() {
 	logf := logger.Printf
 	if *quiet {
 		logf = nil
+	}
+	if *memoDir != "" {
+		dir := *memoDir
+		if dir == "off" {
+			dir = "" // memory-only store
+		}
+		eng, err := engine.New(engine.Options{Dir: dir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xpowerd:", err)
+			os.Exit(2)
+		}
+		xpowerd.SetEngine(eng)
 	}
 	srv := xpowerd.New(xpowerd.Config{
 		TCPAddr:      *listen,

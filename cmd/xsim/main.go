@@ -9,6 +9,11 @@
 //	xsim -disasm -w <name>   print the disassembly instead of running
 //	xsim -timeout 5s ...     abort the run after a wall-clock deadline
 //
+// The plain report (optionally -vars) renders through
+// xpowerd.SimulateReport, so repeated identical runs are answered from
+// the content-addressed artifact cache; -no-cache forces a fresh
+// simulation.
+//
 // A failed simulation prints a structured fault report to stderr (kind,
 // program counter, instruction, cycle, address) and exits 2.
 package main
@@ -27,6 +32,7 @@ import (
 	"xtenergy/internal/iss"
 	"xtenergy/internal/procgen"
 	"xtenergy/internal/workloads"
+	"xtenergy/internal/xpowerd"
 )
 
 func main() {
@@ -60,6 +66,7 @@ func run() error {
 	asJSON := flag.Bool("json", false, "emit the statistics and macro-model variables as JSON")
 	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock deadline (0 = none)")
 	maxCycles := flag.Uint64("maxcycles", 0, "watchdog cycle limit (0 = default)")
+	noCache := flag.Bool("no-cache", false, "bypass the content-addressed artifact cache: always re-run the simulator")
 	flag.Parse()
 
 	cfg := procgen.Default()
@@ -108,19 +115,40 @@ func run() error {
 		return nil
 	}
 
-	proc, prog, err := w.Build(cfg)
-	if err != nil {
-		return err
-	}
-	if *netlist {
-		return proc.WriteNetlist(os.Stdout)
-	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// The plain report (optionally -vars) renders through the
+	// daemon-shared entry point, so a repeated run is answered from the
+	// content-addressed artifact cache instead of re-simulating. The
+	// richer modes (netlist, trace, JSON, a custom watchdog) keep the
+	// direct local flow, which never consults the cache.
+	if !*netlist && *traceN == 0 && !*asJSON && *maxCycles == 0 {
+		p := xpowerd.SimulateParams{Vars: *showVars, NoCache: *noCache}
+		if *name != "" {
+			p.Workload = *name
+		} else {
+			p.Source, p.SourceName = w.Source, w.Name
+		}
+		text, err := xpowerd.SimulateReport(ctx, p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	}
+
+	proc, prog, err := w.Build(cfg)
+	if err != nil {
+		return err
+	}
+	if *netlist {
+		return proc.WriteNetlist(os.Stdout)
 	}
 	res, err := iss.New(proc).RunContext(ctx, prog, iss.Options{CollectTrace: *traceN > 0, MaxCycles: *maxCycles})
 	if err != nil {

@@ -7,6 +7,10 @@
 // Only hit/miss behaviour is modeled (true LRU replacement, write-through
 // with write-allocate for data); cache contents are tags, not data — the
 // functional memory image lives in the ISS.
+//
+// Not to be confused with internal/memo, the content-addressed store
+// that memoizes estimation results: this package models the *simulated
+// processor's* caches, it caches nothing for the tools themselves.
 package cache
 
 import "fmt"

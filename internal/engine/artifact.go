@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"xtenergy/internal/core"
+	"xtenergy/internal/iss"
+	"xtenergy/internal/procgen"
+	"xtenergy/internal/regress"
+	"xtenergy/internal/rtlpower"
+	"xtenergy/internal/xlint"
+)
+
+// Artifacts are the *inputs* of a report, not its rendered text: every
+// field survives a JSON round-trip exactly (Go float64 marshaling is
+// shortest-round-trip), and rendering is shared code, so a cached
+// response is byte-identical to a cold one by construction — there is
+// no second formatter to drift.
+
+// EstimateArtifact is the cached result of one reference power
+// estimation (the xpower path).
+type EstimateArtifact struct {
+	Workload string                 `json:"workload"`
+	Retired  uint64                 `json:"retired"`
+	Cycles   uint64                 `json:"cycles"`
+	ClockMHz float64                `json:"clock_mhz"`
+	TotalPJ  float64                `json:"total_pj"`
+	BasePJ   float64                `json:"base_pj"`
+	CustomPJ float64                `json:"custom_pj"`
+	Rows     []rtlpower.BlockEnergy `json:"rows"`
+	// ProfileWindow is nonzero when the request asked for a
+	// power-vs-time profile; Profile then holds its windows.
+	ProfileWindow uint64                  `json:"profile_window,omitempty"`
+	Profile       []rtlpower.ProfilePoint `json:"profile,omitempty"`
+}
+
+// Render produces exactly the report `xpower` prints for this
+// estimation.
+func (a *EstimateArtifact) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s: %d instructions, %d cycles\n\n", a.Workload, a.Retired, a.Cycles)
+	b.WriteString(rtlpower.FormatBreakdown(a.Rows, a.ClockMHz, a.Cycles))
+	if a.CustomPJ > 0 {
+		fmt.Fprintf(&b, "\nbase core: %.3f uJ (%.1f%%), custom hardware: %.3f uJ (%.1f%%)\n",
+			a.BasePJ*1e-6, 100*a.BasePJ/a.TotalPJ, a.CustomPJ*1e-6, 100*a.CustomPJ/a.TotalPJ)
+	}
+	if a.ProfileWindow > 0 {
+		b.WriteString("\n")
+		b.WriteString(rtlpower.FormatProfile(a.Profile, a.ClockMHz))
+	}
+	return b.String()
+}
+
+// SimulateArtifact is the cached result of one ISS run (the xsim
+// path). Vars is always extracted so one artifact serves both the
+// plain and the -vars rendering.
+type SimulateArtifact struct {
+	Workload     string    `json:"workload"`
+	Instructions int       `json:"instructions"`
+	Stats        iss.Stats `json:"stats"`
+	Vars         core.Vars `json:"vars"`
+}
+
+// Render produces exactly the report `xsim [-vars]` prints for this
+// run.
+func (a *SimulateArtifact) Render(vars bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s (%d instructions)\n", a.Workload, a.Instructions)
+	b.WriteString(a.Stats.String())
+	if vars {
+		b.WriteString("macro-model variables:\n")
+		for i, v := range a.Vars {
+			if v != 0 {
+				fmt.Fprintf(&b, "  %-20s %14.1f\n", core.VarName(i), v)
+			}
+		}
+	}
+	return b.String()
+}
+
+// LintArtifact is the cached result of one static analysis. It holds
+// every finding down to note severity; the -notes filter is applied at
+// render time, so one artifact serves both renderings.
+type LintArtifact struct {
+	Prog         string `json:"prog"`
+	Instructions int    `json:"instructions"`
+	Blocks       int    `json:"blocks"`
+	// Warnings counts findings at or above warning severity — the
+	// degraded-status trigger.
+	Warnings int             `json:"warnings"`
+	Findings []xlint.Finding `json:"findings,omitempty"`
+}
+
+// Render produces exactly the text `xlint [-notes]` prints, plus
+// whether the run is degraded (any warning-or-worse finding).
+func (a *LintArtifact) Render(notes bool) (string, bool) {
+	minSev := xlint.SevWarn
+	if notes {
+		minSev = xlint.SevNote
+	}
+	degraded := a.Warnings > 0
+	var b strings.Builder
+	for _, f := range a.Findings {
+		if f.Sev < minSev {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:%s\n", a.Prog, f)
+	}
+	if !degraded {
+		fmt.Fprintf(&b, "%s: clean (%d instructions, %d blocks)\n", a.Prog, a.Instructions, a.Blocks)
+	}
+	return b.String(), degraded
+}
+
+// charArtifact is the cached result of one full characterization. The
+// model is flattened to its plain fields rather than stored through
+// MacroModel's own (deliberately lossy) JSON encoding, so the restored
+// model carries the full fit diagnostics and standard errors.
+type charArtifact struct {
+	Coef         core.Vars           `json:"coef"`
+	CoefStdErr   core.Vars           `json:"coef_std_err"`
+	Fit          *regress.Fit        `json:"fit"`
+	Observations []core.Observation  `json:"observations"`
+	Config       procgen.Config      `json:"config"`
+	Tech         rtlpower.Technology `json:"tech"`
+}
+
+func (a *charArtifact) result() *core.CharacterizationResult {
+	return &core.CharacterizationResult{
+		Model:        &core.MacroModel{Coef: a.Coef, CoefStdErr: a.CoefStdErr, Fit: a.Fit},
+		Observations: a.Observations,
+		Config:       a.Config,
+		Tech:         a.Tech,
+	}
+}

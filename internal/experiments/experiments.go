@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"xtenergy/internal/core"
+	"xtenergy/internal/engine"
 	"xtenergy/internal/hwlib"
 	"xtenergy/internal/procgen"
 	"xtenergy/internal/regress"
@@ -93,12 +94,19 @@ func Fast() *Suite {
 }
 
 // Characterization builds (or returns the cached) macro-model from the
-// 25-program suite.
+// 25-program suite. It resolves through the content-addressed engine,
+// so a repeat run — in this suite, another tool, or another process —
+// recalls the fitted model from the artifact store instead of
+// re-simulating the suite (partial/fault-injecting runs bypass the
+// store inside the engine).
 func (s *Suite) Characterization() (*core.CharacterizationResult, error) {
 	if s.charResult != nil {
 		return s.charResult, nil
 	}
-	res, err := core.Characterize(s.context(), s.Config, s.Tech, workloads.CharacterizationSuite(), s.charOpts())
+	res, _, err := engine.Default().Characterize(s.context(), engine.CharacterizeSpec{
+		Config: s.Config, Tech: s.Tech,
+		Workloads: workloads.CharacterizationSuite(), Opts: s.charOpts(),
+	})
 	if err != nil {
 		return nil, err
 	}

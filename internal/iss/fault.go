@@ -10,11 +10,11 @@ import (
 )
 
 // FaultKind classifies a structured simulation failure. The first five
-// kinds are raised by the simulator itself; FaultPanic and
-// FaultMeasurement extend the taxonomy to the surrounding pipeline
-// (worker legs recovered from panics, unusable reference measurements),
-// so one errors.As target covers every failure mode a characterization
-// run can produce.
+// kinds are raised by the simulator itself; FaultPanic,
+// FaultMeasurement, and FaultArtifact extend the taxonomy to the
+// surrounding pipeline (worker legs recovered from panics, unusable
+// reference measurements, corrupt cached artifacts), so one errors.As
+// target covers every failure mode a characterization run can produce.
 type FaultKind uint8
 
 const (
@@ -46,6 +46,13 @@ const (
 	// failure injected by the chaos harness). Raised by downstream
 	// consumers (internal/core, internal/chaos), not by the simulator.
 	FaultMeasurement
+	// FaultArtifact marks a corrupted or truncated entry in the
+	// content-addressed artifact store (internal/memo): the checksum or
+	// framing of a cached result did not verify. The store falls back
+	// to recomputation, so this fault is observability, not failure —
+	// it reaches callers through counters and hooks, never as a
+	// request error.
+	FaultArtifact
 )
 
 // String returns the stable, hyphenated kind name used in reports.
@@ -65,6 +72,8 @@ func (k FaultKind) String() string {
 		return "panic"
 	case FaultMeasurement:
 		return "bad-measurement"
+	case FaultArtifact:
+		return "corrupt-artifact"
 	}
 	return fmt.Sprintf("fault(%d)", uint8(k))
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"xtenergy/internal/iss"
+	"xtenergy/internal/memo"
 )
 
 // Health is the server snapshot the health op returns. Its status
@@ -32,11 +33,15 @@ type Health struct {
 	// Faults counts failed work requests by iss.FaultKind name, with
 	// untyped failures under "error".
 	Faults map[string]uint64 `json:"faults,omitempty"`
+	// Memo is the estimation engine's artifact-store accounting:
+	// hits (by tier), misses, coalesced requests, evictions, and
+	// corrupt-entry recoveries.
+	Memo *memo.Counters `json:"memo,omitempty"`
 }
 
 // numFaultCounters is one slot per iss.FaultKind plus the trailing
 // untyped-"error" slot.
-const numFaultCounters = int(iss.FaultMeasurement) + 2
+const numFaultCounters = int(iss.FaultArtifact) + 2
 
 // healthState is the server's always-on accounting: plain atomics so
 // the hot request path never takes a lock for it.
@@ -88,6 +93,8 @@ func (h *healthState) snapshot(p *Pool) *Health {
 	if len(faults) > 0 {
 		out.Faults = faults
 	}
+	mc := Engine().Counters()
+	out.Memo = &mc
 	return out
 }
 

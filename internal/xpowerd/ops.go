@@ -3,9 +3,10 @@ package xpowerd
 import (
 	"context"
 	"fmt"
-	"strings"
+	"sync/atomic"
 
 	"xtenergy/internal/core"
+	"xtenergy/internal/engine"
 	"xtenergy/internal/iss"
 	"xtenergy/internal/procgen"
 	"xtenergy/internal/rtlpower"
@@ -18,6 +19,28 @@ import (
 // plain-text path of cmd/xlint calls LintReport), so a remote response
 // is byte-identical to the one-shot tool's stdout by construction, not
 // by parallel maintenance of two formatters.
+//
+// Every entry point resolves through the content-addressed estimation
+// engine (internal/engine): identical requests are answered from the
+// memoizing artifact store — and coalesced while in flight — instead of
+// re-running the pipeline. Cached and uncached responses are
+// byte-identical because the artifact stores the report's inputs and
+// rendering is this same shared code.
+
+// engOverride, when set, routes the ops through a specific engine
+// instead of the process-wide default (daemon -memo-dir flag, tests).
+var engOverride atomic.Pointer[engine.Engine]
+
+// Engine returns the engine serving this process's ops.
+func Engine() *engine.Engine {
+	if e := engOverride.Load(); e != nil {
+		return e
+	}
+	return engine.Default()
+}
+
+// SetEngine routes subsequent ops through e; nil restores the default.
+func SetEngine(e *engine.Engine) { engOverride.Store(e) }
 
 // InvalidRequestError marks a request the daemon can never serve —
 // unknown workload, missing program, bad lint codes. The session layer
@@ -70,83 +93,39 @@ type EstimateParams struct {
 	Workload string
 	// Fast selects the reduced-resolution reference technology.
 	Fast bool
-	// Shards is StreamEstimator.Shards; 0 means 1 (sequential).
+	// Shards is StreamEstimator.Shards; 0 means 1 (sequential). Shards
+	// change nothing about the result (the sharded estimator is
+	// bit-identical), so they do not split the artifact cache.
 	Shards int
 	// ProfileWindow, when nonzero, appends the power-vs-time profile
 	// with that window in cycles.
 	ProfileWindow uint64
+	// NoCache bypasses the artifact store: the pipeline always runs,
+	// and nothing is read or written (`xpower -no-cache`).
+	NoCache bool
 }
 
-// EstimateReport runs one streamed reference estimation and renders the
-// exact report `xpower [-fast] [-j] [-profile]` prints for the same
-// inputs. Cancelling ctx aborts at the next batch boundary with a typed
-// cancelled fault.
+// EstimateReport runs (or recalls) one streamed reference estimation
+// and renders the exact report `xpower [-fast] [-j] [-profile]` prints
+// for the same inputs. Cancelling ctx aborts at the next batch boundary
+// with a typed cancelled fault.
 func EstimateReport(ctx context.Context, p EstimateParams) (string, error) {
 	w, err := resolveWorkload(p.Workload, "", "", false)
 	if err != nil {
 		return "", err
 	}
-
-	cfg := procgen.Default()
 	tech := rtlpower.DefaultTechnology()
 	if p.Fast {
 		tech = rtlpower.FastTechnology()
 	}
-
-	proc, prog, err := w.Build(cfg)
+	a, _, err := Engine().Estimate(ctx, engine.EstimateSpec{
+		Workload: w, Config: procgen.Default(), Tech: tech,
+		Shards: p.Shards, ProfileWindow: p.ProfileWindow, NoCache: p.NoCache,
+	})
 	if err != nil {
 		return "", err
 	}
-	est, err := rtlpower.New(proc, tech)
-	if err != nil {
-		return "", err
-	}
-
-	// One streamed pass, exactly as cmd/xpower: the ISS feeds
-	// retired-instruction batches to the incremental estimator through
-	// a bounded channel; the profile, when requested, hangs off the
-	// same pass.
-	st := est.Stream()
-	st.Shards = p.Shards
-	if st.Shards == 0 {
-		st.Shards = 1
-	}
-	var acc *rtlpower.ProfileAccumulator
-	if p.ProfileWindow > 0 {
-		acc = rtlpower.NewProfileAccumulator(p.ProfileWindow)
-		st.OnEntry = acc.OnEntry
-	}
-	res, err := rtlpower.RunStreamed(ctx, iss.New(proc), prog, iss.Options{}, st)
-	if err != nil {
-		return "", err
-	}
-	rep, err := st.Finish()
-	if err != nil {
-		return "", err
-	}
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "workload %s: %d instructions, %d cycles\n\n", w.Name, res.Stats.Retired, rep.Cycles)
-	rows, err := rep.Breakdown(proc)
-	if err != nil {
-		return "", err
-	}
-	b.WriteString(rtlpower.FormatBreakdown(rows, cfg.ClockMHz, rep.Cycles))
-
-	base, custom, err := rep.BaseCustomSplit(proc)
-	if err != nil {
-		return "", err
-	}
-	if custom > 0 {
-		fmt.Fprintf(&b, "\nbase core: %.3f uJ (%.1f%%), custom hardware: %.3f uJ (%.1f%%)\n",
-			base*1e-6, 100*base/rep.TotalPJ, custom*1e-6, 100*custom/rep.TotalPJ)
-	}
-
-	if acc != nil {
-		b.WriteString("\n")
-		b.WriteString(rtlpower.FormatProfile(acc.Points(), cfg.ClockMHz))
-	}
-	return b.String(), nil
+	return a.Render(), nil
 }
 
 // SimulateParams selects one ISS run (the xsim path: execution
@@ -158,42 +137,28 @@ type SimulateParams struct {
 	Workload   string
 	Source     string
 	SourceName string
-	// Vars appends the nonzero macro-model variables.
+	// Vars appends the nonzero macro-model variables. Render-only: the
+	// artifact always carries the variables, so -vars and plain runs
+	// share one cache entry.
 	Vars bool
+	// NoCache bypasses the artifact store.
+	NoCache bool
 }
 
-// SimulateReport runs the ISS and renders the report `xsim [-vars]`
-// prints for the same program.
+// SimulateReport runs (or recalls) the ISS and renders the report
+// `xsim [-vars]` prints for the same program.
 func SimulateReport(ctx context.Context, p SimulateParams) (string, error) {
 	w, err := resolveWorkload(p.Workload, p.Source, p.SourceName, true)
 	if err != nil {
 		return "", err
 	}
-	proc, prog, err := w.Build(procgen.Default())
+	a, _, err := Engine().Simulate(ctx, engine.SimulateSpec{
+		Workload: w, Config: procgen.Default(), NoCache: p.NoCache,
+	})
 	if err != nil {
 		return "", err
 	}
-	res, err := iss.New(proc).RunContext(ctx, prog, iss.Options{})
-	if err != nil {
-		return "", err
-	}
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "workload %s (%d instructions)\n", w.Name, len(prog.Code))
-	b.WriteString(res.Stats.String())
-	if p.Vars {
-		vars, err := core.Extract(proc.TIE, &res.Stats)
-		if err != nil {
-			return "", err
-		}
-		b.WriteString("macro-model variables:\n")
-		for i, v := range vars {
-			if v != 0 {
-				fmt.Fprintf(&b, "  %-20s %14.1f\n", core.VarName(i), v)
-			}
-		}
-	}
-	return b.String(), nil
+	return a.Render(p.Vars), nil
 }
 
 // LintParams selects one static analysis (the xlint plain-text path).
@@ -204,59 +169,41 @@ type LintParams struct {
 	Workload   string
 	Source     string
 	SourceName string
-	// Notes includes note-severity findings.
+	// Notes includes note-severity findings. Render-only: the artifact
+	// holds every finding down to note severity.
 	Notes bool
 	// Disable suppresses the named finding codes (validated; unknown
 	// codes are an invalid request, mirroring `xlint -disable`).
 	Disable []string
+	// NoCache bypasses the artifact store.
+	NoCache bool
 }
 
-// LintReport runs the static analyzer and renders exactly what
-// `xlint [-notes] [-disable]` prints in its default text mode, with the
-// same 0/1 status. The analyzer itself is not cancellable, so ctx is
-// honored at the phase boundaries (before assembling and before
-// analyzing) — both phases are bounded by program size, not input data.
+// LintReport runs (or recalls) the static analyzer and renders exactly
+// what `xlint [-notes] [-disable]` prints in its default text mode,
+// with the same 0/1 status. Invalid disable codes are rejected before
+// the engine is consulted, so they can never reach (or pollute) the
+// artifact store.
 func LintReport(ctx context.Context, p LintParams) (string, int, error) {
 	w, err := resolveWorkload(p.Workload, p.Source, p.SourceName, true)
 	if err != nil {
 		return "", StatusFailed, err
 	}
-	var opts []xlint.Option
 	if len(p.Disable) > 0 {
 		if err := xlint.ValidateCodes(p.Disable); err != nil {
 			return "", StatusFailed, &InvalidRequestError{Msg: err.Error()}
 		}
-		opts = append(opts, xlint.Disable(p.Disable...))
 	}
-	if cerr := ctx.Err(); cerr != nil {
-		return "", StatusFailed, cancelled(w.Name, "lint", cerr)
-	}
-	proc, prog, err := w.Build(procgen.Default())
+	a, _, err := Engine().Lint(ctx, engine.LintSpec{
+		Workload: w, Config: procgen.Default(), Disable: p.Disable, NoCache: p.NoCache,
+	})
 	if err != nil {
 		return "", StatusFailed, err
 	}
-	if cerr := ctx.Err(); cerr != nil {
-		return "", StatusFailed, cancelled(w.Name, "lint", cerr)
-	}
-	rep := xlint.Analyze(prog, proc, opts...)
-
-	minSev := xlint.SevWarn
-	if p.Notes {
-		minSev = xlint.SevNote
-	}
-	shown := rep.Filter(minSev)
+	text, degraded := a.Render(p.Notes)
 	status := StatusOK
-	if rep.Count(xlint.SevWarn) > 0 {
+	if degraded {
 		status = StatusDegraded
 	}
-
-	var b strings.Builder
-	for _, f := range shown {
-		fmt.Fprintf(&b, "%s:%s\n", prog.Name, f)
-	}
-	if status == StatusOK {
-		fmt.Fprintf(&b, "%s: clean (%d instructions, %d blocks)\n",
-			prog.Name, len(prog.Code), len(rep.CFG.Blocks))
-	}
-	return b.String(), status, nil
+	return text, status, nil
 }

@@ -148,6 +148,10 @@ type Request struct {
 	// Disable suppresses the named lint finding codes
 	// (`xlint -disable`).
 	Disable []string `json:"disable,omitempty"`
+	// NoCache bypasses the daemon's artifact store for this request:
+	// the pipeline always runs, and nothing is read or written
+	// (`xpower -no-cache` / `xlint -no-cache` over -remote).
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // Response statuses follow the CLIs' 0/1/2 exit semantics: 0 clean,

@@ -159,7 +159,7 @@ func runOp(ctx context.Context, req *Request) (out string, status int, err error
 	case OpEstimate:
 		out, err = EstimateReport(ctx, EstimateParams{
 			Workload: req.Workload, Fast: req.Fast,
-			Shards: req.Shards, ProfileWindow: req.ProfileWindow,
+			Shards: req.Shards, ProfileWindow: req.ProfileWindow, NoCache: req.NoCache,
 		})
 	case OpProfile:
 		if req.ProfileWindow == 0 {
@@ -167,16 +167,17 @@ func runOp(ctx context.Context, req *Request) (out string, status int, err error
 		}
 		out, err = EstimateReport(ctx, EstimateParams{
 			Workload: req.Workload, Fast: req.Fast,
-			Shards: req.Shards, ProfileWindow: req.ProfileWindow,
+			Shards: req.Shards, ProfileWindow: req.ProfileWindow, NoCache: req.NoCache,
 		})
 	case OpSimulate:
 		out, err = SimulateReport(ctx, SimulateParams{
-			Workload: req.Workload, Source: req.Source, SourceName: req.SourceName, Vars: req.Vars,
+			Workload: req.Workload, Source: req.Source, SourceName: req.SourceName,
+			Vars: req.Vars, NoCache: req.NoCache,
 		})
 	case OpLint:
 		return LintReport(ctx, LintParams{
 			Workload: req.Workload, Source: req.Source, SourceName: req.SourceName,
-			Notes: req.Notes, Disable: req.Disable,
+			Notes: req.Notes, Disable: req.Disable, NoCache: req.NoCache,
 		})
 	default:
 		return "", StatusFailed, invalidf("unknown op %q", req.Op)
