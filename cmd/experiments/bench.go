@@ -44,7 +44,9 @@ type benchFile struct {
 	Current  map[string]benchEntry `json:"current"`
 }
 
-// benchLanes lists the recorded benchmarks in print order.
+// benchLanes lists the recorded benchmarks in print order. The
+// per-tier simulate_nets_<kernel> lanes are appended at runtime, since
+// which tiers run depends on the host.
 var benchLanes = []string{"iss_steps", "plan_build", "simulate_nets", "reference_streamed", "cached_path"}
 
 // checkTolerance is how much slower than its frozen baseline a lane's
@@ -130,6 +132,37 @@ func runBench(argv []string) error {
 		}
 	}))
 
+	// Per-tier lanes pin each supported walker kernel in turn, so a
+	// regression in one tier's assembly shows up even when it is not the
+	// host's default. Shorter budget: these guard relative drift per
+	// tier, while the simulate_nets lane above owns the headline number.
+	lanes := append([]string(nil), benchLanes...)
+	defaultKernel := rtlpower.SelectedKernel()
+	for _, k := range rtlpower.SupportedKernels() {
+		if err := rtlpower.SetKernel(k.String()); err != nil {
+			return err
+		}
+		if err := setBenchtime("1s"); err != nil {
+			return err
+		}
+		lane := "simulate_nets_" + k.String()
+		lanes = append(lanes, lane)
+		current[lane] = toEntry(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.EstimateTrace(res.Trace); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	if err := rtlpower.SetKernel(defaultKernel.String()); err != nil {
+		return err
+	}
+	if err := setBenchtime("3s"); err != nil {
+		return err
+	}
+
 	current["reference_streamed"] = toEntry(testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -207,7 +240,7 @@ func runBench(argv []string) error {
 	}
 
 	var regressed []string
-	for _, name := range benchLanes {
+	for _, name := range lanes {
 		cur := f.Current[name]
 		line := fmt.Sprintf("%-20s %14.0f ns/op %8d B/op %6d allocs/op", name, cur.NsPerOp, cur.BytesPerOp, cur.AllocsPerOp)
 		if base, ok := f.Baseline[name]; ok && base.NsPerOp > 0 && base != cur {

@@ -1,0 +1,57 @@
+package cpufeat
+
+// cpuid and xgetbv are implemented in cpuid_amd64.s.
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// XCR0 state-component bits the OS must be saving for a kernel to use
+// the corresponding registers safely.
+const (
+	xcr0SSE    = 1 << 1 // XMM
+	xcr0AVX    = 1 << 2 // YMM upper halves
+	xcr0Opmask = 1 << 5 // AVX-512 k0-k7
+	xcr0ZMMHi  = 1 << 6 // ZMM0-15 upper halves
+	xcr0HiZMM  = 1 << 7 // ZMM16-31
+
+	ymmState = xcr0SSE | xcr0AVX
+	zmmState = ymmState | xcr0Opmask | xcr0ZMMHi | xcr0HiZMM
+)
+
+func init() {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	if ecx1&osxsave == 0 {
+		// Without OSXSAVE the OS saves no extended state; even if the
+		// hardware has AVX, using YMM/ZMM would corrupt other threads.
+		return
+	}
+	xlo, _ := xgetbv()
+
+	ebx7, _, _, _ := cpuid7()
+	const (
+		avx2     = 1 << 5
+		avx512f  = 1 << 16
+		avx512dq = 1 << 17
+		avx512bw = 1 << 30
+		avx512vl = 1 << 31
+	)
+	if xlo&ymmState == ymmState && ebx7&avx2 != 0 {
+		AVX2 = true
+	}
+	const avx512need = avx512f | avx512dq | avx512bw | avx512vl
+	if xlo&zmmState == zmmState && ebx7&avx512need == avx512need {
+		AVX512 = true
+	}
+}
+
+// cpuid7 returns leaf 7 subleaf 0 with ebx first (the register carrying
+// the AVX2/AVX-512 bits), keeping init readable.
+func cpuid7() (ebx, ecx, edx, eax uint32) {
+	eax, ebx, ecx, edx = cpuid(7, 0)
+	return ebx, ecx, edx, eax
+}

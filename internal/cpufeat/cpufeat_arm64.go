@@ -1,0 +1,39 @@
+package cpufeat
+
+import (
+	"encoding/binary"
+	"os"
+	"runtime"
+)
+
+func init() {
+	if runtime.GOOS != "linux" {
+		// Darwin, the BSDs, and Windows only run on ARMv8-A cores,
+		// where Advanced SIMD is part of the required baseline.
+		NEON = true
+		return
+	}
+	NEON = linuxHWCAPASIMD()
+}
+
+// linuxHWCAPASIMD reads the auxiliary vector for the ASIMD HWCAP bit.
+// The kernel exposes the auxv it handed the process at
+// /proc/self/auxv as (tag, value) machine-word pairs.
+func linuxHWCAPASIMD() bool {
+	const (
+		atHWCAP    = 16
+		hwcapASIMD = 1 << 1
+	)
+	buf, err := os.ReadFile("/proc/self/auxv")
+	if err != nil {
+		// No /proc (minimal container): ASIMD is mandatory for the
+		// AArch64 Linux ABI targets Go supports, so default to true.
+		return true
+	}
+	for i := 0; i+16 <= len(buf); i += 16 {
+		if binary.LittleEndian.Uint64(buf[i:]) == atHWCAP {
+			return binary.LittleEndian.Uint64(buf[i+8:])&hwcapASIMD != 0
+		}
+	}
+	return true
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 
+	"xtenergy/internal/isa"
 	"xtenergy/internal/iss"
+	"xtenergy/internal/plan"
 	"xtenergy/internal/procgen"
 )
 
@@ -34,9 +36,11 @@ func (r Report) AveragePowerMW(clockMHz float64) float64 {
 
 // blockModel is the precomputed simulation state of one structural block.
 type blockModel struct {
-	nets        int
-	activePJNet float64 // energy per toggled net while active
-	idlePJNet   float64 // energy per toggled net while idle
+	nets int
+	// pjNet is the energy per toggled net, indexed by phase (0 active,
+	// 1 idle) so the fold can select it branch-free from a slot's
+	// phase bit.
+	pjNet [2]float64
 }
 
 // Per-cycle toggle probabilities of the net population.
@@ -54,9 +58,41 @@ type Estimator struct {
 	proc   *procgen.Processor
 	tech   Technology
 	blocks []blockModel
-	// kindIdx maps base block kinds to their Processor.Blocks index
-	// (the generator may omit the multiplier).
-	kindIdx map[procgen.BlockKind]int
+	// kindIdx maps base block kinds to their Processor.Blocks index,
+	// -1 when absent (the generator may omit the multiplier). A dense
+	// array: the lookup sits on the per-entry pricing path, where a map
+	// access per block kind is measurable.
+	kindIdx [procgen.NumBaseBlockKinds]int32
+	// desc is a lazily allocated direct-mapped cache of plan.Describe
+	// results, used when entries are priced without a plan record (no
+	// plan attached, or a fault-altered trace). Sharing it across
+	// streaming passes is safe because an Estimator is documented as
+	// not safe for concurrent use.
+	desc []descEntry
+}
+
+// descEntry is one slot of the Describe cache; used distinguishes an
+// empty slot from a cached zero-valued instruction.
+type descEntry struct {
+	used bool
+	rec  plan.Rec
+}
+
+// descCacheSize is the direct-mapped Describe cache size; must be a
+// power of two.
+const descCacheSize = 1024
+
+// descIndex hashes an instruction word into the Describe cache (FNV-1a
+// over the fields that distinguish instructions).
+func descIndex(in isa.Instr) uint32 {
+	h := uint32(2166136261)
+	h = (h ^ uint32(in.Op)) * 16777619
+	h = (h ^ uint32(in.Rd)) * 16777619
+	h = (h ^ uint32(in.Rs)) * 16777619
+	h = (h ^ uint32(in.Rt)) * 16777619
+	h = (h ^ uint32(in.Imm)) * 16777619
+	h = (h ^ uint32(in.CustomID)) * 16777619
+	return h & (descCacheSize - 1)
 }
 
 // New builds an estimator for proc under the given technology.
@@ -64,10 +100,13 @@ func New(proc *procgen.Processor, tech Technology) (*Estimator, error) {
 	if err := tech.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Estimator{proc: proc, tech: tech, kindIdx: map[procgen.BlockKind]int{}}
+	e := &Estimator{proc: proc, tech: tech}
+	for k := range e.kindIdx {
+		e.kindIdx[k] = -1
+	}
 	for i, b := range proc.Blocks {
 		if b.Kind != procgen.BlockCustom {
-			e.kindIdx[b.Kind] = i
+			e.kindIdx[b.Kind] = int32(i)
 		}
 	}
 	for _, b := range proc.Blocks {
@@ -77,13 +116,13 @@ func New(proc *procgen.Processor, tech Technology) (*Estimator, error) {
 			cx := b.Component.Complexity()
 			bm.nets = scaleNets(float64(tech.CustomNetsPerUnit)*cx, tech.Detail)
 			active := unit * cx
-			bm.activePJNet = active / (float64(bm.nets) * pActiveNominal)
-			bm.idlePJNet = active * tech.CustomIdleFrac / (float64(bm.nets) * pIdle)
+			bm.pjNet[0] = active / (float64(bm.nets) * pActiveNominal)
+			bm.pjNet[1] = active * tech.CustomIdleFrac / (float64(bm.nets) * pIdle)
 		} else {
 			p := tech.Blocks[b.Kind]
 			bm.nets = scaleNets(float64(p.Nets), tech.Detail)
-			bm.activePJNet = p.ActivePJ / (float64(bm.nets) * pActiveNominal)
-			bm.idlePJNet = p.IdlePJ / (float64(bm.nets) * pIdle)
+			bm.pjNet[0] = p.ActivePJ / (float64(bm.nets) * pActiveNominal)
+			bm.pjNet[1] = p.IdlePJ / (float64(bm.nets) * pIdle)
 		}
 		e.blocks = append(e.blocks, bm)
 	}

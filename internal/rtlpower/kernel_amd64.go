@@ -1,0 +1,28 @@
+package rtlpower
+
+import "xtenergy/internal/cpufeat"
+
+// supportedKernels lists the runnable tiers on this amd64 host. SSE2 is
+// part of the amd64 baseline; the wider tiers need CPU (and OS state)
+// support detected by cpufeat.
+func supportedKernels() []Kernel {
+	ks := []Kernel{KernelPortable, KernelSSE2}
+	if cpufeat.AVX2 {
+		ks = append(ks, KernelAVX2)
+	}
+	if cpufeat.AVX512 {
+		ks = append(ks, KernelAVX512)
+	}
+	return ks
+}
+
+// defaultKernel picks the widest supported tier at init.
+func defaultKernel() Kernel {
+	switch {
+	case cpufeat.AVX512:
+		return KernelAVX512
+	case cpufeat.AVX2:
+		return KernelAVX2
+	}
+	return KernelSSE2
+}

@@ -1,0 +1,8 @@
+//go:build !amd64 && !arm64
+
+package rtlpower
+
+// Architectures without a SIMD walker run the portable tier only.
+func supportedKernels() []Kernel { return []Kernel{KernelPortable} }
+
+func defaultKernel() Kernel { return KernelPortable }

@@ -1,0 +1,107 @@
+package rtlpower
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseKernel(t *testing.T) {
+	for k, name := range kernelNames {
+		got, err := ParseKernel(name)
+		if err != nil || got != Kernel(k) {
+			t.Errorf("ParseKernel(%q) = %v, %v; want %v, nil", name, got, err, Kernel(k))
+		}
+	}
+	for _, bad := range []string{"", "AVX2", "sse", "avx1024"} {
+		if _, err := ParseKernel(bad); err == nil {
+			t.Errorf("ParseKernel(%q) succeeded, want error", bad)
+		} else if !strings.Contains(err.Error(), "valid:") {
+			t.Errorf("ParseKernel(%q) error %q does not list the valid names", bad, err)
+		}
+	}
+}
+
+func TestKernelWidth(t *testing.T) {
+	widths := map[Kernel]int{
+		KernelPortable: 8, KernelSSE2: 8, KernelAVX2: 16, KernelAVX512: 32, KernelNEON: 8,
+	}
+	for k, want := range widths {
+		if got := k.width(); got != want {
+			t.Errorf("%s.width() = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestSetKernelRoundTrip(t *testing.T) {
+	def := SelectedKernel()
+	t.Cleanup(func() {
+		if err := SetKernel(def.String()); err != nil {
+			t.Fatalf("restoring default kernel: %v", err)
+		}
+	})
+
+	for _, k := range SupportedKernels() {
+		if err := SetKernel(k.String()); err != nil {
+			t.Fatalf("SetKernel(%q): %v", k, err)
+		}
+		if got := SelectedKernel(); got != k {
+			t.Fatalf("SelectedKernel() = %v after SetKernel(%q)", got, k)
+		}
+	}
+
+	// A failed SetKernel must leave the current tier untouched.
+	if err := SetKernel("portable"); err != nil {
+		t.Fatalf("SetKernel(portable): %v", err)
+	}
+	if err := SetKernel("no-such-tier"); err == nil {
+		t.Fatal("SetKernel(no-such-tier) succeeded, want error")
+	}
+	if got := SelectedKernel(); got != KernelPortable {
+		t.Fatalf("failed SetKernel changed the tier to %v", got)
+	}
+}
+
+func TestSetKernelUnsupported(t *testing.T) {
+	supported := map[Kernel]bool{}
+	for _, k := range SupportedKernels() {
+		supported[k] = true
+	}
+	if !supported[KernelPortable] {
+		t.Fatal("portable tier missing from SupportedKernels")
+	}
+	for k := Kernel(0); k < numKernels; k++ {
+		if supported[k] {
+			continue
+		}
+		err := SetKernel(k.String())
+		if err == nil {
+			t.Fatalf("SetKernel(%q) succeeded on a host that does not support it", k)
+		}
+		if !strings.Contains(err.Error(), "not supported on this host") {
+			t.Errorf("SetKernel(%q) error %q lacks the host-support explanation", k, err)
+		}
+	}
+}
+
+func TestApplyKernelFlag(t *testing.T) {
+	def := SelectedKernel()
+	t.Cleanup(func() {
+		if err := SetKernel(def.String()); err != nil {
+			t.Fatalf("restoring default kernel: %v", err)
+		}
+	})
+
+	// Empty flag defers to the (valid-or-absent here) environment value.
+	if err := ApplyKernelFlag(""); err != EnvKernelError() {
+		t.Errorf("ApplyKernelFlag(\"\") = %v, want EnvKernelError() = %v", err, EnvKernelError())
+	}
+	if err := ApplyKernelFlag("portable"); err != nil {
+		t.Fatalf("ApplyKernelFlag(portable): %v", err)
+	}
+	if got := SelectedKernel(); got != KernelPortable {
+		t.Fatalf("SelectedKernel() = %v after forcing portable", got)
+	}
+	if err := ApplyKernelFlag("bogus"); err == nil {
+		t.Error("ApplyKernelFlag(bogus) succeeded, want error")
+	}
+}

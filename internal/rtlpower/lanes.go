@@ -38,6 +38,29 @@ type walk8 struct {
 	st     [8]uint32
 }
 
+// walk16 is the argument block of one 16-lane walk, the AVX2 tier's
+// form of walk8: lane j owns records recs[off[j] : off[j]+cnt[j]]
+// starting from state st[j]. Field offsets are hardcoded in
+// lanes16_amd64.s and pinned by TestWalk16Layout.
+type walk16 struct {
+	recs   []laneRec
+	counts []uint32
+	off    [16]uint32
+	cnt    [16]uint32
+	st     [16]uint32
+}
+
+// walk32 is the argument block of one 32-lane walk, the AVX-512 tier's
+// form of walk8. Field offsets are hardcoded in lanes32_amd64.s and
+// pinned by TestWalk32Layout.
+type walk32 struct {
+	recs   []laneRec
+	counts []uint32
+	off    [32]uint32
+	cnt    [32]uint32
+	st     [32]uint32
+}
+
 // sentinelRem marks an exhausted lane. Chunk totals are capped below
 // 2^31 draws (see maxChunkDraws), so a sentinel can never decay below a
 // live lane's remaining count.
@@ -137,4 +160,75 @@ func countStripes8Go(w *walk8) {
 	}
 	w.st[0], w.st[1], w.st[2], w.st[3] = s0, s1, s2, s3
 	w.st[4], w.st[5], w.st[6], w.st[7] = s4, s5, s6, s7
+}
+
+// countStripesWideGo is the portable lockstep walker at any lane width
+// up to 32: the width-generic twin of countStripes8Go, used as the
+// reference implementation and non-amd64 fallback for the wide (AVX2 /
+// AVX-512) argument blocks. Within a round the lanes advance
+// sequentially instead of interleaved, which changes nothing observable
+// — per-lane chains are independent and counts are integers.
+func countStripesWideGo(recs []laneRec, counts []uint32, off, cnt, st []uint32) {
+	width := len(off)
+	var rem, thr, acc, slot [32]uint32
+	active := 0
+	for j := 0; j < width; j++ {
+		rem[j] = sentinelRem
+		if cnt[j] > 0 {
+			r := recs[off[j]]
+			rem[j], thr[j], slot[j] = r.rem, r.thr, r.slot
+			off[j]++
+			cnt[j]--
+			active++
+		}
+	}
+	for active > 0 {
+		m := rem[0]
+		for j := 1; j < width; j++ {
+			if rem[j] < m {
+				m = rem[j]
+			}
+		}
+		for j := 0; j < width; j++ {
+			s := st[j]
+			t := uint64(thr[j])
+			c := uint32(0)
+			for i := uint32(0); i < m; i++ {
+				s ^= s << 13
+				s ^= s >> 17
+				s ^= s << 5
+				c += uint32((uint64(s) - t) >> 63)
+			}
+			st[j] = s
+			acc[j] += c
+		}
+		for j := 0; j < width; j++ {
+			rem[j] -= m
+			if rem[j] != 0 {
+				continue
+			}
+			counts[slot[j]] += acc[j]
+			acc[j] = 0
+			if cnt[j] > 0 {
+				r := recs[off[j]]
+				rem[j], thr[j], slot[j] = r.rem, r.thr, r.slot
+				off[j]++
+				cnt[j]--
+			} else {
+				rem[j], thr[j], slot[j] = sentinelRem, 0, 0
+				active--
+			}
+		}
+	}
+}
+
+// countStripes16Go and countStripes32Go run the portable walker over
+// the wide argument blocks; they are the differential references for
+// the AVX2 and AVX-512 kernels.
+func countStripes16Go(w *walk16) {
+	countStripesWideGo(w.recs, w.counts, w.off[:], w.cnt[:], w.st[:])
+}
+
+func countStripes32Go(w *walk32) {
+	countStripesWideGo(w.recs, w.counts, w.off[:], w.cnt[:], w.st[:])
 }

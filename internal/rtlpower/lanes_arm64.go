@@ -1,0 +1,16 @@
+package rtlpower
+
+// countStripes8NEON is the Advanced SIMD form of the 8-lane walker
+// (lanes_arm64.s): two 4-wide xorshift32 vectors, the same
+// lockstep-round contract as countStripes8Go. The Go arm64 assembler
+// has no vector unsigned-compare-greater, so the kernel counts
+// "state < thr" as "umin(state, thr-1) == state" — exact because
+// xorshift32 states are never zero (seeds are or-ed with 1) and
+// records with thr == 0 load a clamped thr-1 of 0, which no state
+// ever equals.
+//
+//go:noescape
+func countStripes8NEON(w *walk8)
+
+// countStripes8 runs one 8-lane walk; on arm64 it is the NEON walker.
+func countStripes8(w *walk8) { countStripes8NEON(w) }

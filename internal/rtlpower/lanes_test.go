@@ -31,6 +31,48 @@ func TestWalk8Layout(t *testing.T) {
 	}
 }
 
+// TestWalk16Layout pins the struct layout lanes16_amd64.s hardcodes.
+func TestWalk16Layout(t *testing.T) {
+	var w walk16
+	offs := []struct {
+		name string
+		got  uintptr
+		want uintptr
+	}{
+		{"recs", unsafe.Offsetof(w.recs), 0},
+		{"counts", unsafe.Offsetof(w.counts), 24},
+		{"off", unsafe.Offsetof(w.off), 48},
+		{"cnt", unsafe.Offsetof(w.cnt), 112},
+		{"st", unsafe.Offsetof(w.st), 176},
+	}
+	for _, o := range offs {
+		if o.got != o.want {
+			t.Errorf("offsetof(walk16.%s) = %d, want %d", o.name, o.got, o.want)
+		}
+	}
+}
+
+// TestWalk32Layout pins the struct layout lanes32_amd64.s hardcodes.
+func TestWalk32Layout(t *testing.T) {
+	var w walk32
+	offs := []struct {
+		name string
+		got  uintptr
+		want uintptr
+	}{
+		{"recs", unsafe.Offsetof(w.recs), 0},
+		{"counts", unsafe.Offsetof(w.counts), 24},
+		{"off", unsafe.Offsetof(w.off), 48},
+		{"cnt", unsafe.Offsetof(w.cnt), 176},
+		{"st", unsafe.Offsetof(w.st), 304},
+	}
+	for _, o := range offs {
+		if o.got != o.want {
+			t.Errorf("offsetof(walk32.%s) = %d, want %d", o.name, o.got, o.want)
+		}
+	}
+}
+
 // walkOracle advances each lane's record runs on the scalar chain,
 // mirroring the walk8 contract one lane at a time.
 func walkOracle(w *walk8) {
@@ -123,13 +165,135 @@ func compareWalk(t *testing.T, impl string, trial int, want, got *walk8) {
 	// w.st is diagnostic only (chunk RNG continuity uses JumpAhead).
 }
 
+// wideOracle advances each lane of a generic (off/cnt/st slice) walk on
+// the scalar chain, one lane at a time — the width-generic walkOracle.
+func wideOracle(recs []laneRec, counts []uint32, off, cnt, st []uint32) {
+	for j := range off {
+		s := st[j]
+		for k := uint32(0); k < cnt[j]; k++ {
+			r := recs[off[j]+k]
+			for d := uint32(0); d < r.rem; d++ {
+				s = xorshiftStep(s)
+				if s < r.thr {
+					counts[r.slot]++
+				}
+			}
+		}
+		st[j] = s
+	}
+}
+
+// randomLanes fills width lanes of random record runs laid out
+// contiguously, including empty lanes and extreme thresholds.
+func randomLanes(rng *rand.Rand, nslots, width int, off, cnt, st []uint32) []laneRec {
+	var recs []laneRec
+	for j := 0; j < width; j++ {
+		nrec := rng.Intn(5)
+		if rng.Intn(8) == 0 {
+			nrec = 0 // empty lane: starts and stays on the sentinel
+		}
+		off[j] = uint32(len(recs))
+		cnt[j] = uint32(nrec)
+		st[j] = rng.Uint32() | 1
+		for k := 0; k < nrec; k++ {
+			var thr uint32
+			switch rng.Intn(5) {
+			case 0:
+				thr = 0 // never toggles
+			case 1:
+				thr = ^uint32(0) // toggles on everything but ^0 itself
+			default:
+				thr = rng.Uint32()
+			}
+			recs = append(recs, laneRec{
+				thr:  thr,
+				rem:  uint32(rng.Intn(700) + 1),
+				slot: uint32(rng.Intn(nslots)),
+			})
+		}
+	}
+	return recs
+}
+
+// kernelSupported reports whether the dispatch ladder can run tier k on
+// this host.
+func kernelSupported(k Kernel) bool {
+	for _, s := range SupportedKernels() {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCountStripes16MatchesOracle differentially tests the 16-lane
+// walkers — the portable wide walker always, and the AVX2 kernel when
+// this host can run it — against the one-lane-at-a-time scalar oracle.
+func TestCountStripes16MatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		nslots := 1 + rng.Intn(6)
+		w := &walk16{counts: make([]uint32, nslots)}
+		w.recs = randomLanes(rng, nslots, 16, w.off[:], w.cnt[:], w.st[:])
+
+		want := make([]uint32, nslots)
+		wideOracle(w.recs, want, append([]uint32(nil), w.off[:]...), append([]uint32(nil), w.cnt[:]...), append([]uint32(nil), w.st[:]...))
+
+		gotGo := *w
+		gotGo.counts = make([]uint32, nslots)
+		countStripes16Go(&gotGo)
+		compareCounts(t, "countStripes16Go", trial, want, gotGo.counts)
+
+		if kernelSupported(KernelAVX2) {
+			gotAsm := *w
+			gotAsm.counts = make([]uint32, nslots)
+			countStripes16(&gotAsm)
+			compareCounts(t, "countStripes16AVX2", trial, want, gotAsm.counts)
+		}
+	}
+}
+
+// TestCountStripes32MatchesOracle is the 32-lane (AVX-512) twin.
+func TestCountStripes32MatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		nslots := 1 + rng.Intn(6)
+		w := &walk32{counts: make([]uint32, nslots)}
+		w.recs = randomLanes(rng, nslots, 32, w.off[:], w.cnt[:], w.st[:])
+
+		want := make([]uint32, nslots)
+		wideOracle(w.recs, want, append([]uint32(nil), w.off[:]...), append([]uint32(nil), w.cnt[:]...), append([]uint32(nil), w.st[:]...))
+
+		gotGo := *w
+		gotGo.counts = make([]uint32, nslots)
+		countStripes32Go(&gotGo)
+		compareCounts(t, "countStripes32Go", trial, want, gotGo.counts)
+
+		if kernelSupported(KernelAVX512) {
+			gotAsm := *w
+			gotAsm.counts = make([]uint32, nslots)
+			countStripes32(&gotAsm)
+			compareCounts(t, "countStripes32AVX512", trial, want, gotAsm.counts)
+		}
+	}
+}
+
+func compareCounts(t *testing.T, impl string, trial int, want, got []uint32) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trial %d: %s counts[%d] = %d, want %d", trial, impl, i, got[i], want[i])
+		}
+	}
+}
+
 // seqScheduleCounts is the sequential oracle for a whole chunk
 // schedule: one scalar chain through every segment in order.
 func seqScheduleCounts(state uint32, sc *schedule) ([]uint32, uint32) {
-	out := make([]uint32, len(sc.thr))
-	for i := range sc.thr {
-		thr := sc.thr[i]
-		for k := uint32(0); k < sc.draws[i]; k++ {
+	out := make([]uint32, len(sc.segs))
+	for i := range sc.segs {
+		thr := sc.segs[i].thr
+		for k := uint32(0); k < sc.segs[i].draws; k++ {
 			state = xorshiftStep(state)
 			if state < thr {
 				out[i]++
@@ -157,34 +321,37 @@ func TestCountChunkLanesMatchesSequential(t *testing.T) {
 				thr = rng.Uint32()
 			}
 			draws := uint32(1 + rng.Intn(3000))
-			sc.thr = append(sc.thr, thr)
-			sc.draws = append(sc.draws, draws)
-			sc.bk = append(sc.bk, uint32(i)<<1)
+			sc.segs = append(sc.segs, segRec{thr: thr, draws: draws, bk: uint32(i) << 1})
 			sc.total += uint64(draws)
 		}
 		if sc.total < laneMinDraws {
 			// Pad the last segment so the schedule is inside the lane
 			// kernel's sizing envelope, like consumeChunk guarantees.
 			pad := uint32(laneMinDraws - sc.total)
-			sc.draws[nseg-1] += pad
+			sc.segs[nseg-1].draws += pad
 			sc.total += uint64(pad)
 		}
 		sc.counts = make([]uint32, nseg)
 
 		seed := rng.Uint32() | 1
 		want, wantState := seqScheduleCounts(seed, sc)
+		shards := rng.Intn(5)
 
-		s := &StreamEstimator{rng: seed, Shards: rng.Intn(5)}
-		s.countChunkLanes(sc)
+		// Every tier the host can run — not just the default dispatch —
+		// must reproduce the sequential chain exactly.
+		for _, k := range SupportedKernels() {
+			s := &StreamEstimator{rng: seed, Shards: shards}
+			s.countChunkLanesKernel(sc, k)
 
-		for i := range want {
-			if sc.counts[i] != want[i] {
-				t.Fatalf("trial %d (shards=%d): counts[%d] = %d, want %d",
-					trial, s.Shards, i, sc.counts[i], want[i])
+			for i := range want {
+				if sc.counts[i] != want[i] {
+					t.Fatalf("trial %d (%s, shards=%d): counts[%d] = %d, want %d",
+						trial, k, shards, i, sc.counts[i], want[i])
+				}
 			}
-		}
-		if s.rng != wantState {
-			t.Fatalf("trial %d: exit state %#x, want %#x", trial, s.rng, wantState)
+			if s.rng != wantState {
+				t.Fatalf("trial %d (%s): exit state %#x, want %#x", trial, k, s.rng, wantState)
+			}
 		}
 	}
 }

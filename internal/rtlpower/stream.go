@@ -26,9 +26,10 @@ import (
 // Internally each consumed chunk is compiled into a draw schedule —
 // the per-block segments of toggle-RNG draws an entry implies are a
 // pure function of the trace entry and its plan record — and the
-// schedule's one serial draw chain is then counted by 8 jump-ahead
-// lanes (see lanes.go and jump.go) instead of one latency-bound
-// xorshift recurrence. The lanes enumerate exactly the states the
+// schedule's one serial draw chain is then counted by jump-ahead lanes
+// (see lanes.go and jump.go) instead of one latency-bound xorshift
+// recurrence — 8, 16, or 32 lanes wide depending on the selected
+// kernel tier (see kernel.go). The lanes enumerate exactly the states the
 // sequential walk would, toggle counts are integers, and the energy
 // fold replays the float operations in the sequential order, so
 // reports, per-block energies, and per-entry (OnEntry) energies are
@@ -47,7 +48,7 @@ type StreamEstimator struct {
 
 	// Shards enables the opt-in sharded kernel: when > 1, each chunk's
 	// draw chain is additionally split across up to Shards worker
-	// goroutines (each running its own 8-lane walk from exact
+	// goroutines (each running its own lane walk from exact
 	// jump-ahead start states), giving multicore scaling on a single
 	// program. Per-segment toggle counts are integers and additive, so
 	// the result stays bit-identical to the single-goroutine walk.
@@ -65,15 +66,14 @@ type StreamEstimator struct {
 	// pl is the predecoded plan of the program being streamed, attached
 	// by RunStreamed; entries are priced from its records. When nil (or
 	// when an entry no longer matches its record), the entry falls
-	// back to describing its instruction into scratch.
-	pl      *plan.Plan
-	scratch plan.Rec
+	// back to the estimator's Describe cache.
+	pl *plan.Plan
 
 	icPen, dcPen int
 
 	thrIdle   uint32 // toggle threshold of the idle process, fixed per pass
 	totalNets uint64 // Σ nets over all blocks: draws per simulated cycle
-	sched     schedule
+	sched     *schedule
 	forceSeq  bool // tests: pin the sequential reference path
 }
 
@@ -129,14 +129,24 @@ func toggleThreshold(p float64) uint32 {
 	return uint32(p * float64(1<<32-1))
 }
 
+// segRec is one compiled draw segment. The three fields live in a
+// single struct so the chunk compiler's hot append and the clip loop's
+// reads touch one cache line per segment instead of three parallel
+// arrays.
+type segRec struct {
+	thr   uint32 // toggle threshold
+	draws uint32 // number of RNG draws, ≥ 1
+	bk    uint32 // block index << 1, low bit set when idle
+}
+
 // schedule is the reusable per-chunk compilation of trace entries into
 // toggle-draw segments, plus the lane-walk scratch built from them.
-// Buffers are allocated once (first chunk) and reused, keeping Consume
-// allocation-free in the steady state.
+// Buffers are allocated once (first chunk) and reused; schedules
+// themselves are pooled (schedPool) across estimation passes, so both
+// Consume in the steady state and fresh StreamEstimators after warm-up
+// allocate nothing.
 type schedule struct {
-	thr    []uint32 // per segment: toggle threshold
-	draws  []uint32 // per segment: number of RNG draws, ≥ 1
-	bk     []uint32 // per segment: block index << 1, low bit set when idle
+	segs   []segRec // compiled draw segments, in sequential fold order
 	counts []uint32 // per segment: toggle count, filled by the kernel
 	entEnd []int32  // per entry: one-past-last segment index
 	entCyc []uint32 // per entry: charged cycles
@@ -146,32 +156,46 @@ type schedule struct {
 	laneEnd     []int32
 	laneStates  []uint32
 	walks       []walk8
+	walks16     []walk16
+	walks32     []walk32
 	shardCounts [][]uint32
 }
 
+// schedPool recycles schedule scratch across StreamEstimators. A
+// schedule's buffers are several hundred KB once warm; before pooling,
+// every fresh pass re-allocated them on its first chunk — the
+// BENCH_iss.json reference_streamed alloc regression (29 → 39
+// allocs/op), which git history places at the jump-ahead lane kernel
+// (PR 5), not the memo engine.
+var schedPool = sync.Pool{New: func() any { return new(schedule) }}
+
 func (sc *schedule) begin(nblocks int) {
-	if cap(sc.thr) == 0 {
-		segCap := iss.TraceBatchSize * 2 * nblocks
-		sc.thr = make([]uint32, 0, segCap)
-		sc.draws = make([]uint32, 0, segCap)
-		sc.bk = make([]uint32, 0, segCap)
+	// Grow, don't just warm: a pooled schedule may have been sized for
+	// a processor with fewer blocks than this pass's.
+	if segCap := maxConsumeEntries * 2 * nblocks; cap(sc.segs) < segCap {
+		sc.segs = make([]segRec, 0, segCap)
 		sc.counts = make([]uint32, 0, segCap)
-		sc.entEnd = make([]int32, 0, iss.TraceBatchSize)
-		sc.entCyc = make([]uint32, 0, iss.TraceBatchSize)
-		sc.recs = make([]laneRec, 0, segCap+walkLanes)
-		sc.laneEnd = make([]int32, 0, walkLanes)
-		sc.laneStates = make([]uint32, 0, walkLanes)
-		sc.walks = make([]walk8, 1, 1)
+		sc.entEnd = make([]int32, 0, maxConsumeEntries)
+		sc.entCyc = make([]uint32, 0, maxConsumeEntries)
+		sc.recs = make([]laneRec, 0, segCap+maxWalkLanes)
+		sc.laneEnd = make([]int32, 0, maxWalkLanes)
+		sc.laneStates = make([]uint32, 0, maxWalkLanes)
 	}
-	sc.thr = sc.thr[:0]
-	sc.draws = sc.draws[:0]
-	sc.bk = sc.bk[:0]
+	sc.segs = sc.segs[:0]
 	sc.entEnd = sc.entEnd[:0]
 	sc.entCyc = sc.entCyc[:0]
 	sc.total = 0
 }
 
-const walkLanes = 8
+// maxWalkLanes sizes width-independent scratch for the widest tier.
+const maxWalkLanes = 32
+
+// maxConsumeEntries is the largest chunk Consume compiles at once.
+// Bigger chunks amortize the per-chunk fixed costs (jump-ahead lane
+// seeding, schedule reset) over more draws; chunk boundaries never
+// affect the result, so materialized traces are chunked wider than the
+// streaming batch size.
+const maxConsumeEntries = 4 * iss.TraceBatchSize
 
 // Consume folds a batch of retired instructions into the estimate. The
 // batch slice may be reused by the caller after Consume returns; after
@@ -179,8 +203,8 @@ const walkLanes = 8
 func (s *StreamEstimator) Consume(batch []iss.TraceEntry) error {
 	for len(batch) > 0 {
 		n := len(batch)
-		if n > iss.TraceBatchSize {
-			n = iss.TraceBatchSize
+		if n > maxConsumeEntries {
+			n = maxConsumeEntries
 		}
 		if err := s.consumeChunk(batch[:n]); err != nil {
 			return err
@@ -206,6 +230,17 @@ func (s *StreamEstimator) consumeChunk(chunk []iss.TraceEntry) error {
 		sumCyc += c
 	}
 	if s.forceSeq || sumCyc*s.totalNets > maxChunkDraws {
+		// A wide chunk over the 32-bit draw cap is split, not
+		// sequentialized: only a minimal chunk that still exceeds the
+		// cap (pathological per-entry cycle counts) walks the scalar
+		// reference path. Either way the result is bit-identical.
+		if !s.forceSeq && len(chunk) > iss.TraceBatchSize {
+			half := len(chunk) / 2
+			if err := s.consumeChunk(chunk[:half]); err != nil {
+				return err
+			}
+			return s.consumeChunk(chunk[half:])
+		}
 		for i := range chunk {
 			if err := s.consumeEntrySeq(&chunk[i]); err != nil {
 				return err
@@ -214,7 +249,11 @@ func (s *StreamEstimator) consumeChunk(chunk []iss.TraceEntry) error {
 		return nil
 	}
 
-	sc := &s.sched
+	sc := s.sched
+	if sc == nil {
+		sc = schedPool.Get().(*schedule)
+		s.sched = sc
+	}
 	sc.begin(len(s.e.blocks))
 	var (
 		fault      error
@@ -249,17 +288,26 @@ func (s *StreamEstimator) consumeChunk(chunk []iss.TraceEntry) error {
 
 // recFor returns the plan record describing te's instruction: the
 // prebuilt record when the entry still matches the attached plan, or a
-// standalone description into the estimator's scratch record otherwise
+// description served from the estimator's direct-mapped cache otherwise
 // (no plan attached, or a trace altered by a fault-injection harness —
-// the entry's own instruction stays authoritative). Allocates nothing.
+// the entry's own instruction stays authoritative). Allocates nothing
+// after the cache warms up.
 func (s *StreamEstimator) recFor(te *iss.TraceEntry) *plan.Rec {
 	if s.pl != nil {
 		if r := s.pl.Rec(int(te.PC)); r != nil && r.Instr == te.Instr {
 			return r
 		}
 	}
-	s.scratch = plan.Describe(s.e.proc.TIE, te.Instr)
-	return &s.scratch
+	e := s.e
+	if e.desc == nil {
+		e.desc = make([]descEntry, descCacheSize)
+	}
+	de := &e.desc[descIndex(te.Instr)]
+	if !de.used || de.rec.Instr != te.Instr {
+		de.rec = plan.Describe(e.proc.TIE, te.Instr)
+		de.used = true
+	}
+	return &de.rec
 }
 
 // wrapEntryFault converts an entry-level estimation failure into a
@@ -349,7 +397,7 @@ func (s *StreamEstimator) prepEntry(te *iss.TraceEntry) (cyc int, pAct float64, 
 			activity[e.proc.CustomBlockBase+ci2] += ci.Latency
 		}
 	case rec.IsMult:
-		if mi, ok := idx[procgen.BlockMult]; ok {
+		if mi := idx[procgen.BlockMult]; mi >= 0 {
 			activity[mi] = d.Cycles
 		} else {
 			activity[idx[procgen.BlockALU]] = d.Cycles
@@ -390,26 +438,31 @@ func (s *StreamEstimator) prepEntry(te *iss.TraceEntry) (cyc int, pAct float64, 
 //xtenergy:hotpath
 func (s *StreamEstimator) emitSegments(sc *schedule, cyc int, pAct float64) {
 	thrA := toggleThreshold(pAct)
-	for bi := range s.e.blocks {
-		bm := &s.e.blocks[bi]
-		act := s.activity[bi]
+	thrI := s.thrIdle
+	segs := sc.segs
+	total := sc.total
+	activity := s.activity
+	blocks := s.e.blocks
+	for bi := range blocks {
+		nets := blocks[bi].nets
+		act := activity[bi]
 		if act > cyc {
 			act = cyc
 		}
 		if act > 0 {
-			sc.thr = append(sc.thr, thrA)
-			sc.draws = append(sc.draws, uint32(act*bm.nets))
-			sc.bk = append(sc.bk, uint32(bi)<<1)
-			sc.total += uint64(act) * uint64(bm.nets)
+			d := uint32(act * nets)
+			segs = append(segs, segRec{thr: thrA, draws: d, bk: uint32(bi) << 1})
+			total += uint64(d)
 		}
 		if idle := cyc - act; idle > 0 {
-			sc.thr = append(sc.thr, s.thrIdle)
-			sc.draws = append(sc.draws, uint32(idle*bm.nets))
-			sc.bk = append(sc.bk, uint32(bi)<<1|1)
-			sc.total += uint64(idle) * uint64(bm.nets)
+			d := uint32(idle * nets)
+			segs = append(segs, segRec{thr: thrI, draws: d, bk: uint32(bi)<<1 | 1})
+			total += uint64(d)
 		}
 	}
-	sc.entEnd = append(sc.entEnd, int32(len(sc.thr)))
+	sc.segs = segs
+	sc.total = total
+	sc.entEnd = append(sc.entEnd, int32(len(segs)))
 	sc.entCyc = append(sc.entCyc, uint32(cyc))
 }
 
@@ -419,10 +472,10 @@ func (s *StreamEstimator) emitSegments(sc *schedule, cyc int, pAct float64) {
 //xtenergy:hotpath
 func (s *StreamEstimator) countChunkSeq(sc *schedule) {
 	st := s.rng
-	sc.counts = sc.counts[:len(sc.thr)]
-	for i := range sc.thr {
-		thr := sc.thr[i]
-		n := sc.draws[i]
+	sc.counts = sc.counts[:len(sc.segs)]
+	for i := range sc.segs {
+		thr := sc.segs[i].thr
+		n := sc.segs[i].draws
 		c := uint32(0)
 		for k := uint32(0); k < n; k++ {
 			st ^= st << 13
@@ -438,16 +491,28 @@ func (s *StreamEstimator) countChunkSeq(sc *schedule) {
 }
 
 // countChunkLanes counts the chunk's schedule with the jump-ahead lane
-// kernel: the draw chain is cut into equal stripes (8 per walk, one
-// walk per shard), segments are clipped at stripe boundaries into lane
-// records, each stripe's start state comes from JumpAhead, and the
-// walks run concurrently when sharding is enabled. Counts land in the
-// same per-segment slots the sequential walk fills, additively for
-// boundary-split segments, so the totals are identical integers.
+// kernel at the process-selected tier (see kernel.go).
 //
 //xtenergy:hotpath
 func (s *StreamEstimator) countChunkLanes(sc *schedule) {
-	nseg := len(sc.thr)
+	s.countChunkLanesKernel(sc, SelectedKernel())
+}
+
+// countChunkLanesKernel counts the chunk's schedule with the jump-ahead
+// lane kernel of tier k: the draw chain is cut into equal stripes (one
+// per lane of the tier's width, one walk per shard), segments are
+// clipped at stripe boundaries into lane records, each stripe's start
+// state comes from JumpAhead, and the walks run concurrently when
+// sharding is enabled. Counts land in the same per-segment slots the
+// sequential walk fills, additively for boundary-split segments, so
+// the totals are identical integers whatever the tier's lane count.
+// Taking the tier explicitly (rather than reading the process global)
+// keeps the cross-kernel differential tests race-free.
+//
+//xtenergy:hotpath
+func (s *StreamEstimator) countChunkLanesKernel(sc *schedule, k Kernel) {
+	width := k.width()
+	nseg := len(sc.segs)
 	sc.counts = sc.counts[:nseg]
 	for i := range sc.counts {
 		sc.counts[i] = 0
@@ -456,27 +521,44 @@ func (s *StreamEstimator) countChunkLanes(sc *schedule) {
 	nWalks := 1
 	if s.Shards > 1 && sc.total >= shardMinDraws {
 		nWalks = s.Shards
-		if max := int(sc.total / (walkLanes * shardMinLaneDraws)); nWalks > max {
+		if max := int(sc.total / uint64(width*shardMinLaneDraws)); nWalks > max {
 			nWalks = max
 		}
 		if nWalks < 1 {
 			nWalks = 1
 		}
 	}
-	lanes := nWalks * walkLanes
+	lanes := nWalks * width
 	q := sc.total / uint64(lanes)
 
 	// Clip segments into per-lane record runs: lanes 0..lanes-2 own q
-	// draws each, the last lane owns the remainder.
-	recs := sc.recs[:0]
-	laneEnd := sc.laneEnd[:0]
+	// draws each, the last lane owns the remainder. Indexed writes into
+	// presized buffers, with a fast path for the common segment that
+	// fits entirely inside the current stripe — at most lanes-1 of the
+	// chunk's segments cross a boundary.
+	if need := nseg + lanes; cap(sc.recs) < need {
+		sc.recs = make([]laneRec, need)
+	}
+	if cap(sc.laneEnd) < lanes {
+		sc.laneEnd = make([]int32, lanes)
+	}
+	recs := sc.recs[:cap(sc.recs)]
+	laneEnd := sc.laneEnd[:lanes]
+	segs := sc.segs
+	nr := 0
 	lane := 0
 	left := q
 	for i := 0; i < nseg; i++ {
-		rem := uint64(sc.draws[i])
+		rem := uint64(segs[i].draws)
+		if rem <= left {
+			recs[nr] = laneRec{thr: segs[i].thr, rem: uint32(rem), slot: uint32(i)}
+			nr++
+			left -= rem
+			continue
+		}
 		for rem > 0 {
 			if left == 0 {
-				laneEnd = append(laneEnd, int32(len(recs)))
+				laneEnd[lane] = int32(nr)
 				lane++
 				left = q
 				if lane == lanes-1 {
@@ -487,15 +569,16 @@ func (s *StreamEstimator) countChunkLanes(sc *schedule) {
 			if take > left {
 				take = left
 			}
-			recs = append(recs, laneRec{thr: sc.thr[i], rem: uint32(take), slot: uint32(i)})
+			recs[nr] = laneRec{thr: segs[i].thr, rem: uint32(take), slot: uint32(i)}
+			nr++
 			rem -= take
 			left -= take
 		}
 	}
-	for len(laneEnd) < lanes {
-		laneEnd = append(laneEnd, int32(len(recs)))
+	for ; lane < lanes; lane++ {
+		laneEnd[lane] = int32(nr)
 	}
-	sc.recs, sc.laneEnd = recs, laneEnd
+	sc.recs, sc.laneEnd = recs[:nr], laneEnd
 
 	// Exact lane start states via jump-ahead, and the chunk's exit
 	// state for chain continuity into the next chunk.
@@ -510,61 +593,109 @@ func (s *StreamEstimator) countChunkLanes(sc *schedule) {
 	sc.laneStates = states
 	s.rng = JumpAhead(s.rng, sc.total)
 
-	if cap(sc.walks) < nWalks {
-		sc.walks = make([]walk8, nWalks)
-	}
-	sc.walks = sc.walks[:nWalks]
 	for len(sc.shardCounts) < nWalks-1 {
 		sc.shardCounts = append(sc.shardCounts, make([]uint32, 0, cap(sc.counts)))
 	}
-	for w := 0; w < nWalks; w++ {
-		wk := &sc.walks[w]
-		wk.recs = recs
-		if w == 0 {
-			wk.counts = sc.counts
-		} else {
-			cnts := sc.shardCounts[w-1]
-			if cap(cnts) < nseg {
-				cnts = make([]uint32, nseg)
-			}
-			cnts = cnts[:nseg]
-			for i := range cnts {
-				cnts[i] = 0
-			}
-			sc.shardCounts[w-1] = cnts
-			wk.counts = cnts
+	switch width {
+	case 32:
+		if cap(sc.walks32) < nWalks {
+			sc.walks32 = make([]walk32, nWalks)
 		}
-		for j := 0; j < walkLanes; j++ {
-			l := w*walkLanes + j
-			start := int32(0)
-			if l > 0 {
-				start = laneEnd[l-1]
-			}
-			wk.off[j] = uint32(start)
-			wk.cnt[j] = uint32(laneEnd[l] - start)
-			wk.st[j] = states[l]
+		sc.walks32 = sc.walks32[:nWalks]
+		for w := range sc.walks32 {
+			wk := &sc.walks32[w]
+			wk.recs, wk.counts = recs, sc.countsFor(w, nseg)
+			sc.fillLanes(w, width, wk.off[:], wk.cnt[:], wk.st[:])
+		}
+	case 16:
+		if cap(sc.walks16) < nWalks {
+			sc.walks16 = make([]walk16, nWalks)
+		}
+		sc.walks16 = sc.walks16[:nWalks]
+		for w := range sc.walks16 {
+			wk := &sc.walks16[w]
+			wk.recs, wk.counts = recs, sc.countsFor(w, nseg)
+			sc.fillLanes(w, width, wk.off[:], wk.cnt[:], wk.st[:])
+		}
+	default:
+		if cap(sc.walks) < nWalks {
+			sc.walks = make([]walk8, nWalks)
+		}
+		sc.walks = sc.walks[:nWalks]
+		for w := range sc.walks {
+			wk := &sc.walks[w]
+			wk.recs, wk.counts = recs, sc.countsFor(w, nseg)
+			sc.fillLanes(w, width, wk.off[:], wk.cnt[:], wk.st[:])
 		}
 	}
 
 	if nWalks == 1 {
-		countStripes8(&sc.walks[0])
+		sc.runWalk(0, width, k)
 		return
 	}
 	var wg sync.WaitGroup
 	for w := 1; w < nWalks; w++ {
 		wg.Add(1)
-		go func(wk *walk8) {
+		go func(w int) {
 			defer wg.Done()
-			countStripes8(wk)
-		}(&sc.walks[w])
+			sc.runWalk(w, width, k)
+		}(w)
 	}
-	countStripes8(&sc.walks[0])
+	sc.runWalk(0, width, k)
 	wg.Wait()
 	for w := 1; w < nWalks; w++ {
 		cnts := sc.shardCounts[w-1]
 		for i := 0; i < nseg; i++ {
 			sc.counts[i] += cnts[i]
 		}
+	}
+}
+
+// countsFor returns walk w's toggle-count destination: the schedule's
+// own counts for walk 0, a zeroed per-shard buffer otherwise.
+func (sc *schedule) countsFor(w, nseg int) []uint32 {
+	if w == 0 {
+		return sc.counts
+	}
+	cnts := sc.shardCounts[w-1]
+	if cap(cnts) < nseg {
+		cnts = make([]uint32, nseg)
+	}
+	cnts = cnts[:nseg]
+	for i := range cnts {
+		cnts[i] = 0
+	}
+	sc.shardCounts[w-1] = cnts
+	return cnts
+}
+
+// fillLanes wires one walk block's lane window onto the clipped record
+// runs and jump-ahead start states; the walk structs' fixed arrays are
+// passed as slices so the setup is shared across the per-width types.
+func (sc *schedule) fillLanes(w, width int, off, cnt, st []uint32) {
+	for j := 0; j < width; j++ {
+		l := w*width + j
+		start := int32(0)
+		if l > 0 {
+			start = sc.laneEnd[l-1]
+		}
+		off[j] = uint32(start)
+		cnt[j] = uint32(sc.laneEnd[l] - start)
+		st[j] = sc.laneStates[l]
+	}
+}
+
+// runWalk executes one walk block on tier k's stripe kernel.
+func (sc *schedule) runWalk(w, width int, k Kernel) {
+	switch {
+	case width == 32:
+		countStripes32(&sc.walks32[w])
+	case width == 16:
+		countStripes16(&sc.walks16[w])
+	case k == KernelPortable:
+		countStripes8Go(&sc.walks[w])
+	default:
+		countStripes8(&sc.walks[w])
 	}
 }
 
@@ -575,20 +706,17 @@ func (s *StreamEstimator) countChunkLanes(sc *schedule) {
 //
 //xtenergy:hotpath
 func (s *StreamEstimator) foldChunk(sc *schedule, ne int) {
-	e := s.e
+	blocks := s.e.blocks
+	perBlock := s.perBlock
+	segs, counts := sc.segs, sc.counts
 	si := 0
 	for i := 0; i < ne; i++ {
 		last := int(sc.entEnd[i])
 		var entryPJ float64
 		for ; si < last; si++ {
-			bk := sc.bk[si]
-			bm := &e.blocks[bk>>1]
-			pjNet := bm.activePJNet
-			if bk&1 != 0 {
-				pjNet = bm.idlePJNet
-			}
-			pj := float64(sc.counts[si]) * pjNet
-			s.perBlock[bk>>1] += pj
+			bk := segs[si].bk
+			pj := float64(counts[si]) * blocks[bk>>1].pjNet[bk&1]
+			perBlock[bk>>1] += pj
 			entryPJ += pj
 		}
 		if s.OnEntry != nil {
@@ -616,12 +744,12 @@ func (s *StreamEstimator) consumeEntrySeq(te *iss.TraceEntry) error {
 			act = cyc
 		}
 		if act > 0 {
-			pj := s.simulateNets(bm.nets, act, pAct) * bm.activePJNet
+			pj := s.simulateNets(bm.nets, act, pAct) * bm.pjNet[0]
 			s.perBlock[bi] += pj
 			entryPJ += pj
 		}
 		if idle := cyc - act; idle > 0 {
-			pj := s.simulateNets(bm.nets, idle, pIdle) * bm.idlePJNet
+			pj := s.simulateNets(bm.nets, idle, pIdle) * bm.pjNet[1]
 			s.perBlock[bi] += pj
 			entryPJ += pj
 		}
@@ -662,6 +790,10 @@ func (s *StreamEstimator) simulateNets(nets, cycles int, p float64) float64 {
 
 // Finish closes the pass and returns the accumulated report.
 func (s *StreamEstimator) Finish() (Report, error) {
+	if s.sched != nil {
+		schedPool.Put(s.sched)
+		s.sched = nil
+	}
 	if s.entries == 0 {
 		return Report{}, errors.New("rtlpower: empty trace (was the ISS run with CollectTrace or a TraceSink?)")
 	}

@@ -5,6 +5,7 @@ import (
 
 	"xtenergy/internal/iss"
 	"xtenergy/internal/memo"
+	"xtenergy/internal/rtlpower"
 )
 
 // Health is the server snapshot the health op returns. Its status
@@ -25,6 +26,10 @@ type Health struct {
 	QueueCapacity int `json:"queue_capacity"`
 	// Workers is the pool's fixed concurrency bound.
 	Workers int `json:"workers"`
+	// Kernel is the net-simulation walker tier in effect (runtime
+	// feature selection, or an XTENERGY_KERNEL override) — the tier
+	// every estimate this daemon serves is computed on.
+	Kernel string `json:"kernel"`
 	// Requests counts every decoded request since start; Shed counts
 	// the ones rejected for load (queue full, connection limit,
 	// draining).
@@ -70,6 +75,7 @@ func (h *healthState) snapshot(p *Pool) *Health {
 		ActiveSessions: int(h.sessions.Load()),
 		Requests:       h.requests.Load(),
 		Shed:           h.shed.Load(),
+		Kernel:         rtlpower.SelectedKernel().String(),
 	}
 	if p != nil {
 		out.ActiveJobs = p.Active()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"xtenergy/internal/chaos"
+	"xtenergy/internal/rtlpower"
 	"xtenergy/internal/xpowerd"
 )
 
@@ -98,6 +99,9 @@ func TestRemoteEstimateByteIdentical(t *testing.T) {
 	h := resp2.Health
 	if h == nil || h.State != "serving" || h.Workers < 1 || h.Requests < 2 {
 		t.Fatalf("health snapshot off: %+v", h)
+	}
+	if h.Kernel != rtlpower.SelectedKernel().String() {
+		t.Fatalf("health Kernel = %q, want %q", h.Kernel, rtlpower.SelectedKernel())
 	}
 	if h.ActiveSessions != 1 {
 		t.Fatalf("ActiveSessions = %d, want 1", h.ActiveSessions)
